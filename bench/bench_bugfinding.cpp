@@ -1,0 +1,139 @@
+//===- bench/bench_bugfinding.cpp - Assertion checking throughput ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end use case (§8: "check for user-defined assertions"):
+/// for each application, a natural invariant and its isolation-level
+/// boundary. We measure (a) time and explored histories until the first
+/// violation under the weakest level exhibiting the bug, and (b) time to
+/// *prove* the invariant (full enumeration) under the weakest level where
+/// it holds — the verification/falsification costs the paper's tool
+/// targets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/Courseware.h"
+#include "apps/ShoppingCart.h"
+#include "apps/Tpcc.h"
+#include "apps/Twitter.h"
+#include "apps/Wikipedia.h"
+
+#include <iostream>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+
+namespace {
+
+struct BugCase {
+  std::string Name;
+  Program Prog;
+  AssertionFn Invariant;
+  IsolationLevel BuggyLevel; ///< Violation expected here...
+  IsolationLevel SafeLevel;  ///< ... and absence expected here.
+};
+
+std::vector<BugCase> makeBugCases() {
+  std::vector<BugCase> Cases;
+  {
+    ProgramBuilder B;
+    CoursewareApp App(B, 2, 1, /*Capacity=*/1);
+    App.openCourse(0, 0);
+    App.enroll(0, 0, 0);
+    App.enroll(1, 1, 0);
+    Cases.push_back({"courseware-capacity", B.build(),
+                     [](const FinalStates &S) {
+                       return S.local(0, 1, "did") + S.local(1, 0, "did") <=
+                              1;
+                     },
+                     IsolationLevel::CausalConsistency,
+                     IsolationLevel::SnapshotIsolation});
+  }
+  {
+    ProgramBuilder B;
+    TpccApp App(B, 1, 1);
+    App.newOrder(0, 0);
+    App.newOrder(1, 0);
+    Cases.push_back({"tpcc-order-ids", B.build(),
+                     [](const FinalStates &S) {
+                       return S.local(0, 0, "o") != S.local(1, 0, "o");
+                     },
+                     IsolationLevel::CausalConsistency,
+                     IsolationLevel::SnapshotIsolation});
+  }
+  {
+    // Write skew on two stock rows guarded by a total-stock check.
+    ProgramBuilder B;
+    VarId S0 = B.var("stock0");
+    VarId S1 = B.var("stock1");
+    B.beginTxn(0).write(S0, 1);
+    auto W1 = B.beginTxn(1, "take0");
+    W1.read("a", S0);
+    W1.read("b", S1);
+    W1.write(S0, W1.local("a") - 1, ge(W1.local("a") + W1.local("b"), 1));
+    auto W2 = B.beginTxn(2, "take1");
+    W2.read("a", S0);
+    W2.read("b", S1);
+    W2.write(S1, W2.local("b") - 1, ge(W2.local("a") + W2.local("b"), 1));
+    Cases.push_back({"stock-write-skew", B.build(),
+                     [](const FinalStates &S) {
+                       bool T1 = S.local(1, 0, "a") + S.local(1, 0, "b") >= 1;
+                       bool T2 = S.local(2, 0, "a") + S.local(2, 0, "b") >= 1;
+                       return !(T1 && T2);
+                     },
+                     IsolationLevel::SnapshotIsolation,
+                     IsolationLevel::Serializability});
+  }
+  return Cases;
+}
+
+ExplorerConfig configFor(IsolationLevel Level, int64_t BudgetMs) {
+  ExplorerConfig Config;
+  if (isPrefixClosedCausallyExtensible(Level)) {
+    Config = ExplorerConfig::exploreCE(Level);
+  } else {
+    Config = ExplorerConfig::exploreCEStar(
+        IsolationLevel::CausalConsistency, Level);
+  }
+  Config.TimeBudget = Deadline::afterMillis(BudgetMs);
+  return Config;
+}
+
+} // namespace
+
+int main() {
+  int64_t Budget = benchBudgetMs();
+  std::cout << "Bug finding and proving via SMC (budget " << Budget
+            << " ms/run)\n\n";
+
+  TablePrinter T({"case", "buggy-level", "found?", "histories-to-bug",
+                  "find-ms", "safe-level", "proved?", "histories-proved",
+                  "prove-ms"});
+  for (BugCase &Case : makeBugCases()) {
+    AssertionResult Find = checkAssertion(
+        Case.Prog, configFor(Case.BuggyLevel, Budget), Case.Invariant);
+    AssertionResult Prove = checkAssertion(
+        Case.Prog, configFor(Case.SafeLevel, Budget), Case.Invariant);
+    T.addRow({Case.Name, isolationLevelName(Case.BuggyLevel),
+              Find.ViolationFound ? "bug" : "MISSED",
+              std::to_string(Find.Checked),
+              TablePrinter::formatMillis(Find.Stats.ElapsedMillis,
+                                         Find.Stats.TimedOut),
+              isolationLevelName(Case.SafeLevel),
+              Prove.ViolationFound ? "BROKEN" : "safe",
+              std::to_string(Prove.Checked),
+              TablePrinter::formatMillis(Prove.Stats.ElapsedMillis,
+                                         Prove.Stats.TimedOut)});
+  }
+  T.print(std::cout);
+  std::cout << "\nEach case is falsified at its buggy level and *proved* "
+               "at the weakest safe level —\nthe exhaustive guarantee "
+               "randomized testing cannot give (§8).\n";
+  return 0;
+}

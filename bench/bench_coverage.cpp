@@ -1,0 +1,77 @@
+//===- bench/bench_coverage.cpp - SMC vs randomized testing (§8) ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the paper's §8 comparison with MonkeyDB-style randomized
+/// testing: systematic explore-ce(CC) enumerates each history exactly
+/// once, while random sampling of executions re-draws duplicates and
+/// covers hist_CC(P) only asymptotically. For each benchmark client we
+/// report the exhaustive count and the distinct histories found by
+/// growing random-walk budgets — the coverage gap is the argument for
+/// systematic exploration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/RandomWalk.h"
+
+#include <iostream>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+
+int main() {
+  int64_t Budget = benchBudgetMs();
+  std::cout << "Coverage: explore-ce(CC) vs random-walk sampling "
+            << "(MonkeyDB-style baseline, §8); budget " << Budget
+            << " ms/run\n\n";
+
+  TablePrinter T({"benchmark", "exhaustive", "walks=32", "walks=128",
+                  "walks=512", "walks=2048", "coverage@2048"});
+
+  for (AppKind App : AllApps) {
+    ClientSpec Spec;
+    Spec.Sessions = 3;
+    Spec.TxnsPerSession = 3;
+    Spec.Seed = 1;
+    Program P = makeClientProgram(App, Spec);
+
+    ExplorerConfig Config =
+        ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+    Config.TimeBudget = Deadline::afterMillis(Budget);
+    ExplorerStats Exhaustive = exploreProgram(P, Config);
+
+    std::vector<std::string> Row{clientName(App, 0),
+                                 std::to_string(Exhaustive.Outputs)};
+    uint64_t LastDistinct = 0;
+    for (uint64_t Walks : {32u, 128u, 512u, 2048u}) {
+      RandomWalkConfig WalkConfig;
+      WalkConfig.Level = IsolationLevel::CausalConsistency;
+      WalkConfig.NumWalks = Walks;
+      WalkConfig.Seed = 7;
+      WalkConfig.TimeBudget = Deadline::afterMillis(Budget);
+      RandomWalkStats Stats = randomWalkProgram(P, WalkConfig);
+      Row.push_back(std::to_string(Stats.DistinctHistories));
+      LastDistinct = Stats.DistinctHistories;
+    }
+    double Coverage =
+        Exhaustive.Outputs
+            ? 100.0 * double(LastDistinct) / double(Exhaustive.Outputs)
+            : 100.0;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f%%", Coverage);
+    Row.push_back(Buf);
+    T.addRow(std::move(Row));
+  }
+  T.print(std::cout);
+  std::cout << "\nNote: random walks may cover small programs fully but "
+               "give no termination or optimality guarantee;\nexplore-ce "
+               "visits each class exactly once and certifies exhaustion "
+               "(Theorem 5.1).\n";
+  return 0;
+}

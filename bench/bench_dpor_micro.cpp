@@ -1,0 +1,98 @@
+//===- bench/bench_dpor_micro.cpp - Explorer microbenchmarks --------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks of full explorations on fixed small
+/// programs, per base isolation level — the kernel cost behind every
+/// table row. Useful for tracking performance regressions of the swap /
+/// ValidWrites machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Applications.h"
+#include "core/Enumerate.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace txdpor;
+
+namespace {
+
+Program makeFig10() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.read("b", Y);
+  auto T1 = B.beginTxn(1);
+  T1.write(X, 2);
+  T1.write(Y, 2);
+  return B.build();
+}
+
+Program makeClient(AppKind App) {
+  ClientSpec Spec;
+  Spec.Sessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.Seed = 1;
+  return makeClientProgram(App, Spec);
+}
+
+void exploreBenchmark(benchmark::State &State, const Program &P,
+                      IsolationLevel Base) {
+  for (auto _ : State) {
+    ExplorerStats Stats = exploreProgram(P, ExplorerConfig::exploreCE(Base));
+    benchmark::DoNotOptimize(Stats.Outputs);
+  }
+  State.SetLabel(isolationLevelName(Base));
+}
+
+void BM_ExploreFig10_CC(benchmark::State &State) {
+  Program P = makeFig10();
+  exploreBenchmark(State, P, IsolationLevel::CausalConsistency);
+}
+void BM_ExploreFig10_RC(benchmark::State &State) {
+  Program P = makeFig10();
+  exploreBenchmark(State, P, IsolationLevel::ReadCommitted);
+}
+void BM_ExploreFig10_True(benchmark::State &State) {
+  Program P = makeFig10();
+  exploreBenchmark(State, P, IsolationLevel::Trivial);
+}
+void BM_ExploreCourseware2x2_CC(benchmark::State &State) {
+  Program P = makeClient(AppKind::Courseware);
+  exploreBenchmark(State, P, IsolationLevel::CausalConsistency);
+}
+void BM_ExploreTpcc2x2_CC(benchmark::State &State) {
+  Program P = makeClient(AppKind::Tpcc);
+  exploreBenchmark(State, P, IsolationLevel::CausalConsistency);
+}
+void BM_ExploreTwitter2x2_CC(benchmark::State &State) {
+  Program P = makeClient(AppKind::Twitter);
+  exploreBenchmark(State, P, IsolationLevel::CausalConsistency);
+}
+
+void BM_ExploreTpcc2x2_CCplusSER(benchmark::State &State) {
+  Program P = makeClient(AppKind::Tpcc);
+  for (auto _ : State) {
+    ExplorerStats Stats = exploreProgram(
+        P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                         IsolationLevel::Serializability));
+    benchmark::DoNotOptimize(Stats.Outputs);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ExploreFig10_CC);
+BENCHMARK(BM_ExploreFig10_RC);
+BENCHMARK(BM_ExploreFig10_True);
+BENCHMARK(BM_ExploreCourseware2x2_CC);
+BENCHMARK(BM_ExploreTpcc2x2_CC);
+BENCHMARK(BM_ExploreTwitter2x2_CC);
+BENCHMARK(BM_ExploreTpcc2x2_CCplusSER);

@@ -1,0 +1,78 @@
+//===- bench/bench_fig15a_sessions.cpp - Fig. 15a / Appendix F.2 ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Session scalability of explore-ce(CC) (Fig. 15a, data in Appendix
+/// F.2): TPC-C and Wikipedia clients with 1..5 sessions of 3 transactions
+/// each. Prints the per-size per-client table and the averaged series.
+/// Expected shape: running time (and history counts) grow steeply with
+/// sessions, memory stays flat (polynomial space).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+
+int main() {
+  int64_t Budget = benchBudgetMs();
+  unsigned Clients = benchClients();
+  AlgorithmSpec Algo =
+      AlgorithmSpec::exploreCE(IsolationLevel::CausalConsistency);
+
+  std::cout << "Fig. 15a / Appendix F.2: session scalability of "
+            << "explore-ce(CC), 3 txns/session (budget " << Budget
+            << " ms/run)\n\n";
+
+  TablePrinter T({"benchmark", "sessions", "histories", "time", "mem-kb"});
+  struct Avg {
+    double TimeMs = 0;
+    double MemKb = 0;
+    unsigned Timeouts = 0;
+    unsigned Runs = 0;
+  };
+  std::vector<Avg> Averages(6);
+
+  for (unsigned Sessions = 1; Sessions <= 5; ++Sessions) {
+    for (AppKind App : {AppKind::Tpcc, AppKind::Wikipedia}) {
+      for (unsigned Client = 0; Client != Clients; ++Client) {
+        ClientSpec Spec;
+        Spec.Sessions = Sessions;
+        Spec.TxnsPerSession = 3;
+        Spec.Seed = Client + 1;
+        Program P = makeClientProgram(App, Spec);
+        RunResult R = runAlgorithm(P, Algo, Budget);
+        T.addRow({clientName(App, Client), std::to_string(Sessions),
+                  formatCount(R.Histories),
+                  TablePrinter::formatMillis(R.Millis, R.TimedOut),
+                  formatCount(R.MemKb)});
+        Avg &A = Averages[Sessions];
+        A.TimeMs += R.Millis;
+        A.MemKb += double(R.MemKb);
+        A.Timeouts += R.TimedOut ? 1 : 0;
+        ++A.Runs;
+      }
+    }
+  }
+  T.print(std::cout);
+
+  std::cout << "\n== Averages per session count (timeouts included at "
+               "budget, like the paper) ==\n";
+  TablePrinter S({"sessions", "avg-time-ms", "avg-mem-kb", "timeouts"});
+  for (unsigned Sessions = 1; Sessions <= 5; ++Sessions) {
+    const Avg &A = Averages[Sessions];
+    S.addRow({std::to_string(Sessions),
+              std::to_string(static_cast<long long>(A.TimeMs / A.Runs)),
+              std::to_string(static_cast<long long>(A.MemKb / A.Runs)),
+              std::to_string(A.Timeouts)});
+  }
+  S.print(std::cout);
+  return 0;
+}

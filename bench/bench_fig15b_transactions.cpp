@@ -1,0 +1,76 @@
+//===- bench/bench_fig15b_transactions.cpp - Fig. 15b / Appendix F.3 ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transaction scalability of explore-ce(CC) (Fig. 15b, data in Appendix
+/// F.3): TPC-C and Wikipedia clients with 3 sessions and 1..5
+/// transactions per session. Expected shape mirrors Fig. 15a: steep time
+/// growth, flat memory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <iostream>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+
+int main() {
+  int64_t Budget = benchBudgetMs();
+  unsigned Clients = benchClients();
+  AlgorithmSpec Algo =
+      AlgorithmSpec::exploreCE(IsolationLevel::CausalConsistency);
+
+  std::cout << "Fig. 15b / Appendix F.3: transactions-per-session "
+            << "scalability of explore-ce(CC), 3 sessions (budget " << Budget
+            << " ms/run)\n\n";
+
+  TablePrinter T({"benchmark", "txns/session", "histories", "time", "mem-kb"});
+  struct Avg {
+    double TimeMs = 0;
+    double MemKb = 0;
+    unsigned Timeouts = 0;
+    unsigned Runs = 0;
+  };
+  std::vector<Avg> Averages(6);
+
+  for (unsigned Txns = 1; Txns <= 5; ++Txns) {
+    for (AppKind App : {AppKind::Tpcc, AppKind::Wikipedia}) {
+      for (unsigned Client = 0; Client != Clients; ++Client) {
+        ClientSpec Spec;
+        Spec.Sessions = 3;
+        Spec.TxnsPerSession = Txns;
+        Spec.Seed = Client + 1;
+        Program P = makeClientProgram(App, Spec);
+        RunResult R = runAlgorithm(P, Algo, Budget);
+        T.addRow({clientName(App, Client), std::to_string(Txns),
+                  formatCount(R.Histories),
+                  TablePrinter::formatMillis(R.Millis, R.TimedOut),
+                  formatCount(R.MemKb)});
+        Avg &A = Averages[Txns];
+        A.TimeMs += R.Millis;
+        A.MemKb += double(R.MemKb);
+        A.Timeouts += R.TimedOut ? 1 : 0;
+        ++A.Runs;
+      }
+    }
+  }
+  T.print(std::cout);
+
+  std::cout << "\n== Averages per transactions-per-session ==\n";
+  TablePrinter S({"txns/session", "avg-time-ms", "avg-mem-kb", "timeouts"});
+  for (unsigned Txns = 1; Txns <= 5; ++Txns) {
+    const Avg &A = Averages[Txns];
+    S.addRow({std::to_string(Txns),
+              std::to_string(static_cast<long long>(A.TimeMs / A.Runs)),
+              std::to_string(static_cast<long long>(A.MemKb / A.Runs)),
+              std::to_string(A.Timeouts)});
+  }
+  S.print(std::cout);
+  return 0;
+}

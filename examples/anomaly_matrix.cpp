@@ -1,0 +1,168 @@
+//===- examples/anomaly_matrix.cpp - Anomaly × isolation-level matrix -----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints the classic anomaly classification matrix by *model checking*:
+/// for each textbook anomaly we build the smallest program exhibiting it,
+/// enumerate the program's behaviors under each isolation level, and
+/// report whether the anomalous behavior is reachable. The resulting
+/// table is the operational counterpart of the axiomatic hierarchy of
+/// §2.2 (RC ⊋ RA ⊋ CC ⊋ SI ⊋ SER).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace txdpor;
+
+namespace {
+
+struct Anomaly {
+  std::string Name;
+  Program Prog;
+  AssertionFn Reached; ///< Returns FALSE when the anomaly occurred.
+};
+
+std::vector<Anomaly> makeAnomalies() {
+  std::vector<Anomaly> Result;
+  {
+    // Non-repeatable read: one transaction reads x twice around a
+    // concurrent overwrite.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    auto T0 = B.beginTxn(0);
+    T0.read("a1", X);
+    T0.read("a2", X);
+    B.beginTxn(1).write(X, 1);
+    Result.push_back({"non-repeatable read", B.build(),
+                      [](const FinalStates &S) {
+                        return S.local(0, 0, "a1") == S.local(0, 0, "a2");
+                      }});
+  }
+  {
+    // Lost update: racing counter increments.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    for (unsigned S = 0; S != 2; ++S) {
+      auto T = B.beginTxn(S);
+      T.read("a", X);
+      T.write(X, T.local("a") + 1);
+    }
+    Result.push_back({"lost update", B.build(), [](const FinalStates &S) {
+                        return S.local(0, 0, "a") != S.local(1, 0, "a");
+                      }});
+  }
+  {
+    // Fractured read: observing half of another transaction.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto W = B.beginTxn(0);
+    W.write(X, 1);
+    W.write(Y, 1);
+    auto R = B.beginTxn(1);
+    R.read("x", X);
+    R.read("y", Y);
+    Result.push_back({"fractured read", B.build(),
+                      [](const FinalStates &S) {
+                        return S.local(1, 0, "x") == S.local(1, 0, "y");
+                      }});
+  }
+  {
+    // Causality violation: observing an effect without its cause.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    B.beginTxn(0).write(X, 1);
+    auto Fwd = B.beginTxn(1);
+    Fwd.read("a", X);
+    Fwd.write(Y, Fwd.local("a"));
+    auto Obs = B.beginTxn(2);
+    Obs.read("y", Y);
+    Obs.read("x", X);
+    Result.push_back({"causality violation", B.build(),
+                      [](const FinalStates &S) {
+                        // Seeing y = 1 (the effect) implies seeing x = 1.
+                        return !(S.local(2, 0, "y") == 1 &&
+                                 S.local(2, 0, "x") == 0);
+                      }});
+  }
+  {
+    // Long fork: two observers disagree on the order of two writes.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    B.beginTxn(0).write(X, 1);
+    B.beginTxn(1).write(Y, 1);
+    auto O1 = B.beginTxn(2);
+    O1.read("x", X);
+    O1.read("y", Y);
+    auto O2 = B.beginTxn(3);
+    O2.read("x", X);
+    O2.read("y", Y);
+    Result.push_back({"long fork", B.build(), [](const FinalStates &S) {
+                        bool O1XFirst = S.local(2, 0, "x") == 1 &&
+                                        S.local(2, 0, "y") == 0;
+                        bool O2YFirst = S.local(3, 0, "y") == 1 &&
+                                        S.local(3, 0, "x") == 0;
+                        return !(O1XFirst && O2YFirst);
+                      }});
+  }
+  {
+    // Write skew: disjoint guarded writes from a common snapshot.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.write(Y, 1);
+    auto T1 = B.beginTxn(1);
+    T1.read("b", Y);
+    T1.write(X, 1);
+    Result.push_back({"write skew", B.build(), [](const FinalStates &S) {
+                        return !(S.local(0, 0, "a") == 0 &&
+                                 S.local(1, 0, "b") == 0);
+                      }});
+  }
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "Anomaly reachability by isolation level (model-checked):\n"
+            << "  'yes' = some execution exhibits the anomaly\n\n";
+
+  TablePrinter T({"anomaly", "RC", "RA", "CC", "SI", "SER"});
+  for (Anomaly &A : makeAnomalies()) {
+    std::vector<std::string> Row{A.Name};
+    for (IsolationLevel Level :
+         {IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic,
+          IsolationLevel::CausalConsistency,
+          IsolationLevel::SnapshotIsolation,
+          IsolationLevel::Serializability}) {
+      // Base CC works for filters ≥ CC; weaker levels run plain.
+      ExplorerConfig Config;
+      if (isPrefixClosedCausallyExtensible(Level)) {
+        Config = ExplorerConfig::exploreCE(Level);
+      } else {
+        Config = ExplorerConfig::exploreCEStar(
+            IsolationLevel::CausalConsistency, Level);
+      }
+      AssertionResult R = checkAssertion(A.Prog, Config, A.Reached);
+      Row.push_back(R.ViolationFound ? "yes" : "no");
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print(std::cout);
+  std::cout << "\nEach 'yes' column prefix is longer than the next — the\n"
+               "operational counterpart of RC ⊋ RA ⊋ CC ⊋ SI ⊋ SER.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- examples/bank_write_skew.cpp - Finding a write-skew overdraft ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic write-skew banking bug: a customer holds two accounts and
+/// the bank only requires the *combined* balance to stay non-negative.
+/// Two concurrent withdrawals each check the invariant against their
+/// snapshot and then debit different accounts. Snapshot Isolation admits
+/// the anomaly (both see the full combined balance); Serializability does
+/// not. The model checker finds a violating history under SI and proves
+/// the program safe under SER — exactly the use case the paper targets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+
+#include <iostream>
+
+using namespace txdpor;
+
+int main() {
+  ProgramBuilder B;
+  VarId AcctX = B.var("acct_x");
+  VarId AcctY = B.var("acct_y");
+
+  // Session 0 funds account x with 1 unit (account y stays at 0).
+  B.beginTxn(0, "deposit").write(AcctX, 1);
+
+  // Sessions 1 and 2 withdraw 1 unit from different accounts, each after
+  // checking combined_balance >= 1 on its own snapshot.
+  auto W1 = B.beginTxn(1, "withdrawX");
+  W1.read("x", AcctX);
+  W1.read("y", AcctY);
+  W1.write(AcctX, W1.local("x") - 1, ge(W1.local("x") + W1.local("y"), 1));
+
+  auto W2 = B.beginTxn(2, "withdrawY");
+  W2.read("x", AcctX);
+  W2.read("y", AcctY);
+  W2.write(AcctY, W2.local("y") - 1, ge(W2.local("x") + W2.local("y"), 1));
+
+  Program P = B.build();
+  std::cout << "Program:\n" << P.str() << '\n';
+
+  // Invariant: the two withdrawals may not both pass their balance check
+  // (combined funds are 1).
+  AssertionFn NoOverdraft = [](const FinalStates &S) {
+    bool First = S.local(1, 0, "x") + S.local(1, 0, "y") >= 1;
+    bool Second = S.local(2, 0, "x") + S.local(2, 0, "y") >= 1;
+    return !(First && Second);
+  };
+
+  VarNameFn Names = P.varNameFn();
+  for (IsolationLevel Level : {IsolationLevel::SnapshotIsolation,
+                               IsolationLevel::Serializability}) {
+    AssertionResult R = checkAssertion(
+        P,
+        ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                      Level),
+        NoOverdraft);
+    std::cout << "Under " << isolationLevelName(Level) << ": ";
+    if (R.ViolationFound) {
+      std::cout << "OVERDRAFT possible. Witness history:\n"
+                << R.Witness.str(&Names);
+    } else {
+      std::cout << "safe (" << R.Checked << " histories checked)\n";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

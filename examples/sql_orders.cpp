@@ -1,0 +1,79 @@
+//===- examples/sql_orders.cpp - SQL-level order processing ----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model checking at the SQL level (§2.1/§7.2 compilation): an orders
+/// table with a uniqueness rule enforced in application code — "INSERT
+/// the order only if SELECT finds no row". Two clients race to file order
+/// #0. Under weak isolation both SELECTs can miss the other's INSERT and
+/// the 'unique' order is created twice, silently overwriting one
+/// customer's data (the ACIDRain pattern). The checker exhibits the
+/// duplicate under CC, explains the violation, and proves SER safe.
+///
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Explain.h"
+#include "core/Enumerate.h"
+#include "sql/Table.h"
+
+#include <iostream>
+
+using namespace txdpor;
+
+int main() {
+  ProgramBuilder B;
+  Table Orders(B, "orders", /*MaxRows=*/2, {"customer", "amount"});
+
+  // Two sessions file order #0 for different customers if it is free.
+  for (unsigned Session = 0; Session != 2; ++Session) {
+    auto T = B.beginTxn(Session, "fileOrder");
+    Orders.selectById(T, /*RowId=*/0, "existing");
+    T.assign("free", eq(T.local("existing_exists"), 0));
+    // Guarded INSERT: read-modify-write of the presence set + row cells.
+    T.read("set2", Orders.setVar(), T.local("free"));
+    T.write(Orders.setVar(), bitOr(T.local("set2"), 1), T.local("free"));
+    T.write(Orders.cellVar(0, 0), Value(Session) + 100, T.local("free"));
+    T.write(Orders.cellVar(0, 1), Value(Session) + 1, T.local("free"));
+    T.assign("filed", T.local("free"));
+  }
+  Program P = B.build();
+  std::cout << "Program (SQL compiled to set + row variables):\n"
+            << P.str() << '\n';
+
+  AssertionFn UniqueOrder = [](const FinalStates &S) {
+    return !(S.local(0, 0, "filed") == 1 && S.local(1, 0, "filed") == 1);
+  };
+
+  VarNameFn Names = P.varNameFn();
+  const std::pair<const char *, ExplorerConfig> Algos[] = {
+      {"CC", ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency)},
+      {"CC + SI",
+       ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                     IsolationLevel::SnapshotIsolation)},
+      {"CC + SER",
+       ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                     IsolationLevel::Serializability)},
+  };
+  for (const auto &[Name, Config] : Algos) {
+    AssertionResult R = checkAssertion(P, Config, UniqueOrder);
+    std::cout << "Under " << Name << ": ";
+    if (!R.ViolationFound) {
+      std::cout << "order uniqueness holds (" << R.Checked
+                << " behaviors)\n\n";
+      continue;
+    }
+    std::cout << "DUPLICATE ORDER FILED. Minimized witness:\n";
+    History Core =
+        minimizeViolation(R.Witness, IsolationLevel::Serializability);
+    std::cout << Core.str(&Names);
+    std::cout << explainViolation(Core, IsolationLevel::Serializability,
+                                  &Names)
+                     .Text
+              << '\n';
+  }
+  return 0;
+}

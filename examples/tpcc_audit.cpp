@@ -1,0 +1,78 @@
+//===- examples/tpcc_audit.cpp - TPC-C money-conservation audit -----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TPC-C-style audit: Payment transactions debit a customer balance and
+/// credit the warehouse year-to-date total; money must be conserved
+/// (customer debits == warehouse credits). Two concurrent payments to the
+/// same customer form racing read-modify-writes on both rows. Under weak
+/// isolation a lost update breaks the books; the checker finds the
+/// smallest such history, explains *why* it is admitted, and identifies
+/// the weakest level at which the audit always balances.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Tpcc.h"
+#include "consistency/Explain.h"
+#include "core/Enumerate.h"
+
+#include <iostream>
+
+using namespace txdpor;
+
+int main() {
+  ProgramBuilder B;
+  TpccApp App(B, /*NumItems=*/1, /*NumCustomers=*/1);
+  App.payment(0, /*Customer=*/0, /*Amount=*/3);
+  App.payment(1, /*Customer=*/0, /*Amount=*/4);
+  Program P = B.build();
+  std::cout << "Program (two concurrent payments):\n" << P.str() << '\n';
+
+  // Conservation: final balance + final YTD must equal 0 + 0 net of the
+  // two amounts, i.e. balance = -(3+4) and ytd = 3+4 — unless an update
+  // was lost. We recompute the final values from each side's observation.
+  AssertionFn BooksBalance = [](const FinalStates &S) {
+    // Each payment wrote balance = b_seen - amt and ytd = y_seen + amt.
+    // The *database-final* values are whichever write is causally last,
+    // but a conservation check works on the observations: if both
+    // payments read balance 0, one debit is lost.
+    bool LostDebit = S.local(0, 0, "b") == S.local(1, 0, "b");
+    bool LostCredit = S.local(0, 0, "y") == S.local(1, 0, "y");
+    return !(LostDebit || LostCredit);
+  };
+
+  VarNameFn Names = P.varNameFn();
+  const std::pair<const char *, ExplorerConfig> Algos[] = {
+      {"CC", ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency)},
+      {"CC + SI",
+       ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                     IsolationLevel::SnapshotIsolation)},
+      {"CC + SER",
+       ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                     IsolationLevel::Serializability)},
+  };
+
+  for (const auto &[Name, Config] : Algos) {
+    AssertionResult R = checkAssertion(P, Config, BooksBalance);
+    std::cout << "Audit under " << Name << ": ";
+    if (!R.ViolationFound) {
+      std::cout << "books balance across all " << R.Checked
+                << " behaviors\n\n";
+      continue;
+    }
+    std::cout << "MONEY LOST. Witness:\n" << R.Witness.str(&Names);
+    // Show why serializability rejects this very history.
+    ViolationExplanation E = explainViolation(
+        R.Witness, IsolationLevel::Serializability, &Names);
+    std::cout << E.Text << '\n';
+  }
+
+  std::cout << "Conclusion: the Payment RMW pattern needs at least SI "
+               "(first-committer-wins)\nto conserve money; CC admits the "
+               "lost update.\n";
+  return 0;
+}

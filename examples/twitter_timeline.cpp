@@ -1,0 +1,68 @@
+//===- examples/twitter_timeline.cpp - Timeline visibility per level ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Twitter benchmark (§7.2): user 0 follows user 1 and then reads the
+/// timeline in a later transaction of the same session; user 1 tweets
+/// concurrently. We enumerate all histories under each isolation level
+/// and classify the timeline outcomes — showing how the level bounds the
+/// set of observable states (the count shrinks as the level strengthens).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Twitter.h"
+#include "core/Enumerate.h"
+
+#include <iostream>
+#include <map>
+
+using namespace txdpor;
+
+int main() {
+  ProgramBuilder B;
+  TwitterApp App(B, /*NumUsers=*/2);
+  App.follow(0, 0, 1);    // Session 0, txn 0: user 0 follows user 1.
+  App.getTimeline(0, 0);  // Session 0, txn 1: user 0 reads its timeline.
+  App.tweet(1, 1);        // Session 1: user 1 tweets.
+  App.tweet(1, 1);        // ... twice.
+  Program P = B.build();
+  std::cout << "Program:\n" << P.str() << '\n';
+
+  const std::pair<IsolationLevel, std::optional<IsolationLevel>> Algos[] = {
+      {IsolationLevel::ReadCommitted, std::nullopt},
+      {IsolationLevel::CausalConsistency, std::nullopt},
+      {IsolationLevel::CausalConsistency, IsolationLevel::Serializability},
+  };
+
+  for (auto [Base, Filter] : Algos) {
+    ExplorerConfig Config;
+    Config.BaseLevel = Base;
+    Config.FilterLevel = Filter;
+    Explorer E(P, Config);
+
+    // Classify timeline observations: (follows-set, tweets-of-user-1).
+    std::map<std::pair<Value, Value>, unsigned> Outcomes;
+    ExplorerStats Stats = E.run([&](const History &H) {
+      FinalStates S = computeFinalStates(P, H);
+      Value Follows = S.local(0, 1, "f");
+      Value Tweets = S.local(0, 1, "t1");
+      ++Outcomes[{Follows, Tweets}];
+    });
+
+    std::cout << "Under " << Config.algorithmName() << ": " << Stats.Outputs
+              << " histories, timeline outcomes:\n";
+    for (const auto &[Key, Count] : Outcomes)
+      std::cout << "  follows=" << Key.first << " tweets_seen=" << Key.second
+                << "  (" << Count << " histories)\n";
+    std::cout << '\n';
+  }
+
+  std::cout << "Note: under CC the timeline read (session-after the follow)"
+            << "\nalways sees the follow; weaker levels would not force"
+            << " that.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- apps/Applications.cpp - Client-program generation ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Applications.h"
+
+#include "apps/Courseware.h"
+#include "apps/ShoppingCart.h"
+#include "apps/Tpcc.h"
+#include "apps/Twitter.h"
+#include "apps/Wikipedia.h"
+#include "support/Rng.h"
+
+using namespace txdpor;
+
+const char *txdpor::appName(AppKind App) {
+  switch (App) {
+  case AppKind::ShoppingCart:
+    return "shoppingCart";
+  case AppKind::Twitter:
+    return "twitter";
+  case AppKind::Courseware:
+    return "courseware";
+  case AppKind::Wikipedia:
+    return "wikipedia";
+  case AppKind::Tpcc:
+    return "tpcc";
+  }
+  return "?";
+}
+
+std::string txdpor::clientName(AppKind App, unsigned ClientIndex) {
+  return std::string(appName(App)) + "-" + std::to_string(ClientIndex + 1);
+}
+
+Program txdpor::makeClientProgram(AppKind App, const ClientSpec &Spec) {
+  // Mix the application kind into the seed so clients of different apps
+  // with the same index differ.
+  Rng R(Spec.Seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<uint64_t>(App) * 0x2545f4914f6cdd1dULL + 17);
+  ProgramBuilder B;
+
+  // Parameter spaces are deliberately small (2 users / items / pages):
+  // the paper's client programs are bounded the same way, and exploration
+  // cost is exponential in the number of conflicting accesses.
+  switch (App) {
+  case AppKind::ShoppingCart: {
+    ShoppingCartApp A(B, /*NumUsers=*/2, /*NumItems=*/2);
+    for (unsigned S = 0; S != Spec.Sessions; ++S)
+      for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
+        A.addRandomTxn(S, R);
+    break;
+  }
+  case AppKind::Twitter: {
+    TwitterApp A(B, /*NumUsers=*/2);
+    for (unsigned S = 0; S != Spec.Sessions; ++S)
+      for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
+        A.addRandomTxn(S, R);
+    break;
+  }
+  case AppKind::Courseware: {
+    CoursewareApp A(B, /*NumStudents=*/2, /*NumCourses=*/2, /*Capacity=*/1);
+    for (unsigned S = 0; S != Spec.Sessions; ++S)
+      for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
+        A.addRandomTxn(S, R);
+    break;
+  }
+  case AppKind::Wikipedia: {
+    WikipediaApp A(B, /*NumUsers=*/2, /*NumPages=*/2);
+    for (unsigned S = 0; S != Spec.Sessions; ++S)
+      for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
+        A.addRandomTxn(S, R);
+    break;
+  }
+  case AppKind::Tpcc: {
+    TpccApp A(B, /*NumItems=*/2, /*NumCustomers=*/2);
+    for (unsigned S = 0; S != Spec.Sessions; ++S)
+      for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
+        A.addRandomTxn(S, R);
+    break;
+  }
+  }
+  return B.build();
+}

@@ -1,0 +1,61 @@
+//===- apps/Applications.h - Client-program generation (§7.2) -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark of §7 uses bounded client programs of five applications:
+/// for each application, several independent clients, each with a number
+/// of sessions and transactions per session drawn from the application's
+/// transaction mix. makeClientProgram reproduces that setup with a seeded
+/// deterministic generator, so every bench run explores identical
+/// programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_APPLICATIONS_H
+#define TXDPOR_APPS_APPLICATIONS_H
+
+#include "program/Program.h"
+
+#include <array>
+#include <string>
+
+namespace txdpor {
+
+enum class AppKind : uint8_t {
+  ShoppingCart,
+  Twitter,
+  Courseware,
+  Wikipedia,
+  Tpcc,
+};
+
+inline constexpr std::array<AppKind, 5> AllApps = {
+    AppKind::ShoppingCart, AppKind::Twitter, AppKind::Courseware,
+    AppKind::Wikipedia, AppKind::Tpcc};
+
+/// Lower-case application name as used in the paper's tables
+/// ("shoppingCart", "twitter", ...).
+const char *appName(AppKind App);
+
+/// Shape of one client program.
+struct ClientSpec {
+  unsigned Sessions = 3;
+  unsigned TxnsPerSession = 3;
+  uint64_t Seed = 1;
+};
+
+/// Generates a bounded client program of \p App: Spec.Sessions sessions,
+/// each a sequence of Spec.TxnsPerSession transactions drawn from the
+/// application's transaction mix with Spec.Seed-deterministic parameters.
+Program makeClientProgram(AppKind App, const ClientSpec &Spec);
+
+/// The paper's benchmark id, e.g. "tpcc-3" for the third TPC-C client.
+std::string clientName(AppKind App, unsigned ClientIndex);
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_APPLICATIONS_H

@@ -1,0 +1,80 @@
+//===- apps/Courseware.cpp - Courseware benchmark -------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Courseware.h"
+
+using namespace txdpor;
+
+CoursewareApp::CoursewareApp(ProgramBuilder &B, unsigned NumStudents,
+                             unsigned NumCourses, Value Capacity)
+    : B(B), NumStudents(NumStudents), NumCourses(NumCourses),
+      Capacity(Capacity) {
+  for (unsigned C = 0; C != NumCourses; ++C) {
+    Status.push_back(B.var("course" + std::to_string(C)));
+    Enrolled.push_back(B.var("enrolled" + std::to_string(C)));
+    Count.push_back(B.var("count" + std::to_string(C)));
+  }
+}
+
+void CoursewareApp::openCourse(unsigned Session, unsigned Course) {
+  auto T = B.beginTxn(Session, "openCourse");
+  T.write(statusVar(Course), 1);
+}
+
+void CoursewareApp::closeCourse(unsigned Session, unsigned Course) {
+  auto T = B.beginTxn(Session, "closeCourse");
+  T.read("s", statusVar(Course));
+  // Only an open course can be closed.
+  T.write(statusVar(Course), 2, eq(T.local("s"), 1));
+}
+
+void CoursewareApp::deleteCourse(unsigned Session, unsigned Course) {
+  auto T = B.beginTxn(Session, "deleteCourse");
+  T.read("s", statusVar(Course));
+  T.write(statusVar(Course), 0, ne(T.local("s"), 0));
+}
+
+void CoursewareApp::enroll(unsigned Session, unsigned Student,
+                           unsigned Course) {
+  auto T = B.beginTxn(Session, "enroll");
+  T.read("s", statusVar(Course));
+  T.read("n", countVar(Course));
+  ExprRef Ok = land(eq(T.local("s"), 1), lt(T.local("n"), Capacity));
+  T.read("e", enrolledVar(Course), Ok);
+  T.write(enrolledVar(Course), bitOr(T.local("e"), Value(1) << Student), Ok);
+  T.write(countVar(Course), T.local("n") + 1, Ok);
+  T.assign("did", Ok);
+}
+
+void CoursewareApp::getEnrollments(unsigned Session, unsigned Course) {
+  auto T = B.beginTxn(Session, "getEnrollments");
+  T.read("e", enrolledVar(Course));
+  T.read("n", countVar(Course));
+}
+
+void CoursewareApp::addRandomTxn(unsigned Session, Rng &R) {
+  unsigned Course = static_cast<unsigned>(R.nextBelow(NumCourses));
+  unsigned Student = static_cast<unsigned>(R.nextBelow(NumStudents));
+  switch (R.nextBelow(6)) {
+  case 0:
+    openCourse(Session, Course);
+    break;
+  case 1:
+    closeCourse(Session, Course);
+    break;
+  case 2:
+    deleteCourse(Session, Course);
+    break;
+  case 3:
+  case 4: // Enrollments dominate the workload.
+    enroll(Session, Student, Course);
+    break;
+  default:
+    getEnrollments(Session, Course);
+    break;
+  }
+}

@@ -1,0 +1,64 @@
+//===- apps/Courseware.h - Courseware benchmark (§7.2) --------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Courseware application (Nair et al. 2020): courses can be opened,
+/// closed and deleted; students enroll only while a course is open and
+/// below its capacity. Modeling: per course a status variable
+/// (0 = deleted/absent, 1 = open, 2 = closed), an enrollment "set"
+/// variable (bitmask of student ids) and an enrollment counter.
+///
+/// The capacity check makes this the canonical weak-isolation anomaly
+/// demo: two concurrent enrollments can both pass the capacity test under
+/// CC (and even SI) and overfill the course; examples/courseware_capacity
+/// uses exactly this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_COURSEWARE_H
+#define TXDPOR_APPS_COURSEWARE_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace txdpor {
+
+class CoursewareApp {
+public:
+  CoursewareApp(ProgramBuilder &B, unsigned NumStudents, unsigned NumCourses,
+                Value Capacity);
+
+  void openCourse(unsigned Session, unsigned Course);
+  void closeCourse(unsigned Session, unsigned Course);
+  void deleteCourse(unsigned Session, unsigned Course);
+
+  /// Enrolls \p Student if the course is open and under capacity; the
+  /// local "did" records whether the enrollment happened.
+  void enroll(unsigned Session, unsigned Student, unsigned Course);
+
+  /// SELECT enrollments of a course (set + counter).
+  void getEnrollments(unsigned Session, unsigned Course);
+
+  void addRandomTxn(unsigned Session, Rng &R);
+
+  VarId statusVar(unsigned Course) const { return Status[Course]; }
+  VarId enrolledVar(unsigned Course) const { return Enrolled[Course]; }
+  VarId countVar(unsigned Course) const { return Count[Course]; }
+  Value capacity() const { return Capacity; }
+
+private:
+  ProgramBuilder &B;
+  unsigned NumStudents, NumCourses;
+  Value Capacity;
+  std::vector<VarId> Status, Enrolled, Count;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_COURSEWARE_H

@@ -1,0 +1,74 @@
+//===- apps/ShoppingCart.cpp - Shopping Cart benchmark --------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ShoppingCart.h"
+
+using namespace txdpor;
+
+ShoppingCartApp::ShoppingCartApp(ProgramBuilder &B, unsigned NumUsers,
+                                 unsigned NumItems)
+    : B(B), NumUsers(NumUsers), NumItems(NumItems) {
+  for (unsigned U = 0; U != NumUsers; ++U) {
+    CartSet.push_back(B.var("cart" + std::to_string(U)));
+    for (unsigned I = 0; I != NumItems; ++I)
+      Qty.push_back(B.var("qty" + std::to_string(U) + "_" +
+                          std::to_string(I)));
+  }
+}
+
+void ShoppingCartApp::addItem(unsigned Session, unsigned User, unsigned Item,
+                              Value QtyVal) {
+  auto T = B.beginTxn(Session, "addItem");
+  T.read("c", cartSetVar(User));
+  T.write(cartSetVar(User), bitOr(T.local("c"), Value(1) << Item));
+  T.write(qtyVar(User, Item), QtyVal);
+}
+
+void ShoppingCartApp::removeItem(unsigned Session, unsigned User,
+                                 unsigned Item) {
+  auto T = B.beginTxn(Session, "removeItem");
+  T.read("c", cartSetVar(User));
+  T.write(cartSetVar(User), bitAnd(T.local("c"), ~(Value(1) << Item)));
+  T.write(qtyVar(User, Item), 0);
+}
+
+void ShoppingCartApp::changeQty(unsigned Session, unsigned User,
+                                unsigned Item, Value QtyVal) {
+  auto T = B.beginTxn(Session, "changeQty");
+  T.read("c", cartSetVar(User));
+  // WHERE id = item: the row update happens only if the item is present.
+  T.write(qtyVar(User, Item), QtyVal,
+          ne(bitAnd(T.local("c"), Value(1) << Item), 0));
+}
+
+void ShoppingCartApp::getCart(unsigned Session, unsigned User) {
+  auto T = B.beginTxn(Session, "getCart");
+  T.read("c", cartSetVar(User));
+  for (unsigned I = 0; I != NumItems; ++I)
+    T.read("q" + std::to_string(I), qtyVar(User, I),
+           ne(bitAnd(T.local("c"), Value(1) << I), 0));
+}
+
+void ShoppingCartApp::addRandomTxn(unsigned Session, Rng &R) {
+  unsigned User = static_cast<unsigned>(R.nextBelow(NumUsers));
+  unsigned Item = static_cast<unsigned>(R.nextBelow(NumItems));
+  Value QtyVal = static_cast<Value>(R.nextInRange(1, 3));
+  switch (R.nextBelow(4)) {
+  case 0:
+    addItem(Session, User, Item, QtyVal);
+    break;
+  case 1:
+    removeItem(Session, User, Item);
+    break;
+  case 2:
+    changeQty(Session, User, Item, QtyVal);
+    break;
+  default:
+    getCart(Session, User);
+    break;
+  }
+}

@@ -1,0 +1,63 @@
+//===- apps/ShoppingCart.h - Shopping Cart benchmark (§7.2) ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Shopping Cart application (Sivaramakrishnan et al. 2015, as used in
+/// the paper's benchmark): users add, get and remove items from their cart
+/// and change item quantities. Following the paper's SQL modeling (§7.2),
+/// each user's cart table is a "set" variable whose value is a bitmask of
+/// the item ids present, plus one row variable per (user, item) holding
+/// the quantity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_SHOPPINGCART_H
+#define TXDPOR_APPS_SHOPPINGCART_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace txdpor {
+
+class ShoppingCartApp {
+public:
+  /// Declares the cart variables for \p NumUsers × \p NumItems in \p B.
+  ShoppingCartApp(ProgramBuilder &B, unsigned NumUsers, unsigned NumItems);
+
+  /// INSERT INTO cart(user) VALUES (item, qty): read the cart set, add the
+  /// item bit, write the quantity row.
+  void addItem(unsigned Session, unsigned User, unsigned Item, Value Qty);
+
+  /// DELETE FROM cart(user) WHERE id = item.
+  void removeItem(unsigned Session, unsigned User, unsigned Item);
+
+  /// UPDATE cart(user) SET qty WHERE id = item (guarded by membership).
+  void changeQty(unsigned Session, unsigned User, unsigned Item, Value Qty);
+
+  /// SELECT * FROM cart(user): read the set variable then the rows.
+  void getCart(unsigned Session, unsigned User);
+
+  /// Appends one uniformly chosen transaction with random parameters.
+  void addRandomTxn(unsigned Session, Rng &R);
+
+  VarId cartSetVar(unsigned User) const { return CartSet[User]; }
+  VarId qtyVar(unsigned User, unsigned Item) const {
+    return Qty[User * NumItems + Item];
+  }
+
+private:
+  ProgramBuilder &B;
+  unsigned NumUsers, NumItems;
+  std::vector<VarId> CartSet; ///< Per user: bitmask of item ids.
+  std::vector<VarId> Qty;     ///< Per (user, item): quantity row.
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_SHOPPINGCART_H

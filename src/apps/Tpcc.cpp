@@ -1,0 +1,80 @@
+//===- apps/Tpcc.cpp - TPC-C benchmark ------------------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Tpcc.h"
+
+using namespace txdpor;
+
+TpccApp::TpccApp(ProgramBuilder &B, unsigned NumItems, unsigned NumCustomers)
+    : B(B), NumItems(NumItems), NumCustomers(NumCustomers) {
+  NextOrderId = B.var("d_next_oid");
+  Delivered = B.var("d_delivered");
+  WarehouseYtd = B.var("w_ytd");
+  for (unsigned I = 0; I != NumItems; ++I)
+    Stock.push_back(B.var("stock" + std::to_string(I)));
+  for (unsigned C = 0; C != NumCustomers; ++C)
+    Balance.push_back(B.var("balance" + std::to_string(C)));
+}
+
+void TpccApp::stockLevel(unsigned Session, unsigned Item) {
+  auto T = B.beginTxn(Session, "stockLevel");
+  T.read("o", nextOrderIdVar());
+  T.read("s", stockVar(Item));
+}
+
+void TpccApp::newOrder(unsigned Session, unsigned Item) {
+  auto T = B.beginTxn(Session, "newOrder");
+  T.read("o", nextOrderIdVar());
+  T.write(nextOrderIdVar(), T.local("o") + 1);
+  T.read("s", stockVar(Item));
+  T.write(stockVar(Item), T.local("s") - 1);
+}
+
+void TpccApp::orderStatus(unsigned Session, unsigned Customer) {
+  auto T = B.beginTxn(Session, "orderStatus");
+  T.read("o", nextOrderIdVar());
+  T.read("b", balanceVar(Customer));
+}
+
+void TpccApp::payment(unsigned Session, unsigned Customer, Value Amount) {
+  auto T = B.beginTxn(Session, "payment");
+  T.read("b", balanceVar(Customer));
+  T.write(balanceVar(Customer), T.local("b") - Amount);
+  T.read("y", warehouseYtdVar());
+  T.write(warehouseYtdVar(), T.local("y") + Amount);
+}
+
+void TpccApp::delivery(unsigned Session) {
+  auto T = B.beginTxn(Session, "delivery");
+  T.read("o", nextOrderIdVar());
+  T.read("d", deliveredVar());
+  // Deliver the oldest undelivered order, if any.
+  T.write(deliveredVar(), T.local("d") + 1,
+          lt(T.local("d"), T.local("o")));
+}
+
+void TpccApp::addRandomTxn(unsigned Session, Rng &R) {
+  unsigned Item = static_cast<unsigned>(R.nextBelow(NumItems));
+  unsigned Customer = static_cast<unsigned>(R.nextBelow(NumCustomers));
+  switch (R.nextBelow(5)) {
+  case 0:
+    stockLevel(Session, Item);
+    break;
+  case 1:
+    newOrder(Session, Item);
+    break;
+  case 2:
+    orderStatus(Session, Customer);
+    break;
+  case 3:
+    payment(Session, Customer, static_cast<Value>(R.nextInRange(1, 5)));
+    break;
+  default:
+    delivery(Session);
+    break;
+  }
+}

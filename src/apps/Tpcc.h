@@ -1,0 +1,64 @@
+//===- apps/Tpcc.h - TPC-C benchmark (§7.2) -------------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TPC-C online-shopping model with the paper's five transaction
+/// types: reading the stock of a product, creating a new order, getting
+/// its status, paying it, and delivering it. Modeling (one warehouse /
+/// district, per the bounded client programs): a district next-order-id
+/// counter, per-item stock rows, per-customer balance rows, a warehouse
+/// year-to-date total, and a delivered-order counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_TPCC_H
+#define TXDPOR_APPS_TPCC_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace txdpor {
+
+class TpccApp {
+public:
+  TpccApp(ProgramBuilder &B, unsigned NumItems, unsigned NumCustomers);
+
+  /// Stock-Level: read an item's stock.
+  void stockLevel(unsigned Session, unsigned Item);
+
+  /// New-Order: allocate the next order id and decrement the stock.
+  void newOrder(unsigned Session, unsigned Item);
+
+  /// Order-Status: read the district order counter and customer balance.
+  void orderStatus(unsigned Session, unsigned Customer);
+
+  /// Payment: debit the customer, credit the warehouse YTD.
+  void payment(unsigned Session, unsigned Customer, Value Amount);
+
+  /// Delivery: advance the delivered-order counter up to the newest order.
+  void delivery(unsigned Session);
+
+  void addRandomTxn(unsigned Session, Rng &R);
+
+  VarId nextOrderIdVar() const { return NextOrderId; }
+  VarId deliveredVar() const { return Delivered; }
+  VarId warehouseYtdVar() const { return WarehouseYtd; }
+  VarId stockVar(unsigned Item) const { return Stock[Item]; }
+  VarId balanceVar(unsigned Customer) const { return Balance[Customer]; }
+
+private:
+  ProgramBuilder &B;
+  unsigned NumItems, NumCustomers;
+  VarId NextOrderId, Delivered, WarehouseYtd;
+  std::vector<VarId> Stock, Balance;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_TPCC_H

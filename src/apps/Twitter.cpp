@@ -1,0 +1,65 @@
+//===- apps/Twitter.cpp - Twitter benchmark -------------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Twitter.h"
+
+using namespace txdpor;
+
+TwitterApp::TwitterApp(ProgramBuilder &B, unsigned NumUsers)
+    : B(B), NumUsers(NumUsers) {
+  for (unsigned U = 0; U != NumUsers; ++U) {
+    Follows.push_back(B.var("follows" + std::to_string(U)));
+    Followers.push_back(B.var("followers" + std::to_string(U)));
+    Tweets.push_back(B.var("tweets" + std::to_string(U)));
+  }
+}
+
+void TwitterApp::follow(unsigned Session, unsigned U, unsigned V) {
+  auto T = B.beginTxn(Session, "follow");
+  T.read("f", followsVar(U));
+  T.write(followsVar(U), bitOr(T.local("f"), Value(1) << V));
+  T.read("g", followersVar(V));
+  T.write(followersVar(V), bitOr(T.local("g"), Value(1) << U));
+}
+
+void TwitterApp::tweet(unsigned Session, unsigned U) {
+  auto T = B.beginTxn(Session, "tweet");
+  T.read("n", tweetsVar(U));
+  T.write(tweetsVar(U), T.local("n") + 1);
+}
+
+void TwitterApp::getFollowers(unsigned Session, unsigned U) {
+  auto T = B.beginTxn(Session, "getFollowers");
+  T.read("g", followersVar(U));
+}
+
+void TwitterApp::getTimeline(unsigned Session, unsigned U) {
+  auto T = B.beginTxn(Session, "getTimeline");
+  T.read("f", followsVar(U));
+  for (unsigned V = 0; V != NumUsers; ++V)
+    T.read("t" + std::to_string(V), tweetsVar(V),
+           ne(bitAnd(T.local("f"), Value(1) << V), 0));
+}
+
+void TwitterApp::addRandomTxn(unsigned Session, Rng &R) {
+  unsigned U = static_cast<unsigned>(R.nextBelow(NumUsers));
+  unsigned V = static_cast<unsigned>(R.nextBelow(NumUsers));
+  switch (R.nextBelow(4)) {
+  case 0:
+    follow(Session, U, V == U ? (V + 1) % NumUsers : V);
+    break;
+  case 1:
+    tweet(Session, U);
+    break;
+  case 2:
+    getFollowers(Session, U);
+    break;
+  default:
+    getTimeline(Session, U);
+    break;
+  }
+}

@@ -1,0 +1,57 @@
+//===- apps/Twitter.h - Twitter benchmark (§7.2) --------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Twitter application (Difallah et al., OLTP-Bench): users follow
+/// other users, publish tweets, and fetch followers / timelines. Modeling:
+/// per user a "follows" set variable (bitmask of followed user ids), a
+/// "followers" set variable, and a tweet counter standing for the user's
+/// tweet list (publishing appends, i.e. increments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_TWITTER_H
+#define TXDPOR_APPS_TWITTER_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace txdpor {
+
+class TwitterApp {
+public:
+  TwitterApp(ProgramBuilder &B, unsigned NumUsers);
+
+  /// u follows v: update both the follows set of u and followers of v.
+  void follow(unsigned Session, unsigned U, unsigned V);
+
+  /// u publishes a tweet (appends to its tweet list).
+  void tweet(unsigned Session, unsigned U);
+
+  /// SELECT followers of u.
+  void getFollowers(unsigned Session, unsigned U);
+
+  /// Timeline of u: read who u follows, then their tweet lists.
+  void getTimeline(unsigned Session, unsigned U);
+
+  void addRandomTxn(unsigned Session, Rng &R);
+
+  VarId followsVar(unsigned U) const { return Follows[U]; }
+  VarId followersVar(unsigned U) const { return Followers[U]; }
+  VarId tweetsVar(unsigned U) const { return Tweets[U]; }
+
+private:
+  ProgramBuilder &B;
+  unsigned NumUsers;
+  std::vector<VarId> Follows, Followers, Tweets;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_TWITTER_H

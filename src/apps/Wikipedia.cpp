@@ -1,0 +1,76 @@
+//===- apps/Wikipedia.cpp - Wikipedia benchmark ---------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Wikipedia.h"
+
+using namespace txdpor;
+
+WikipediaApp::WikipediaApp(ProgramBuilder &B, unsigned NumUsers,
+                           unsigned NumPages)
+    : B(B), NumUsers(NumUsers), NumPages(NumPages) {
+  for (unsigned P = 0; P != NumPages; ++P)
+    PageRev.push_back(B.var("page" + std::to_string(P)));
+  for (unsigned U = 0; U != NumUsers; ++U)
+    Watch.push_back(B.var("watch" + std::to_string(U)));
+}
+
+void WikipediaApp::getPageAnonymous(unsigned Session, unsigned Page) {
+  auto T = B.beginTxn(Session, "getPageAnon");
+  T.read("r", pageVar(Page));
+}
+
+void WikipediaApp::getPageAuthenticated(unsigned Session, unsigned User,
+                                        unsigned Page) {
+  auto T = B.beginTxn(Session, "getPageAuth");
+  T.read("w", watchVar(User));
+  T.read("r", pageVar(Page));
+}
+
+void WikipediaApp::updatePage(unsigned Session, unsigned User,
+                              unsigned Page) {
+  auto T = B.beginTxn(Session, "updatePage");
+  T.read("r", pageVar(Page));
+  T.write(pageVar(Page), T.local("r") + 1);
+  // The editor's own watch list is refreshed to include the page.
+  T.read("w", watchVar(User));
+  T.write(watchVar(User), bitOr(T.local("w"), Value(1) << Page));
+}
+
+void WikipediaApp::addWatch(unsigned Session, unsigned User, unsigned Page) {
+  auto T = B.beginTxn(Session, "addWatch");
+  T.read("w", watchVar(User));
+  T.write(watchVar(User), bitOr(T.local("w"), Value(1) << Page));
+}
+
+void WikipediaApp::removeWatch(unsigned Session, unsigned User,
+                               unsigned Page) {
+  auto T = B.beginTxn(Session, "removeWatch");
+  T.read("w", watchVar(User));
+  T.write(watchVar(User), bitAnd(T.local("w"), ~(Value(1) << Page)));
+}
+
+void WikipediaApp::addRandomTxn(unsigned Session, Rng &R) {
+  unsigned User = static_cast<unsigned>(R.nextBelow(NumUsers));
+  unsigned Page = static_cast<unsigned>(R.nextBelow(NumPages));
+  switch (R.nextBelow(5)) {
+  case 0:
+    getPageAnonymous(Session, Page);
+    break;
+  case 1:
+    getPageAuthenticated(Session, User, Page);
+    break;
+  case 2:
+    updatePage(Session, User, Page);
+    break;
+  case 3:
+    addWatch(Session, User, Page);
+    break;
+  default:
+    removeWatch(Session, User, Page);
+    break;
+  }
+}

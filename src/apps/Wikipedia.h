@@ -1,0 +1,58 @@
+//===- apps/Wikipedia.h - Wikipedia benchmark (§7.2) ----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Wikipedia application (Difallah et al., OLTP-Bench): users fetch
+/// page content (anonymously or logged in), update pages, and manage their
+/// watch lists. Modeling: per page a revision variable (updates create a
+/// new revision, i.e. increment), per user a watch-list "set" variable
+/// (bitmask of page ids).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_APPS_WIKIPEDIA_H
+#define TXDPOR_APPS_WIKIPEDIA_H
+
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace txdpor {
+
+class WikipediaApp {
+public:
+  WikipediaApp(ProgramBuilder &B, unsigned NumUsers, unsigned NumPages);
+
+  /// Anonymous page fetch: read the page revision.
+  void getPageAnonymous(unsigned Session, unsigned Page);
+
+  /// Authenticated page fetch: read the page and the user's watch list.
+  void getPageAuthenticated(unsigned Session, unsigned User, unsigned Page);
+
+  /// Edit: read current revision, write the next one, and touch the
+  /// watching users' notification flag (modeled by re-writing the watch
+  /// set the user observed).
+  void updatePage(unsigned Session, unsigned User, unsigned Page);
+
+  void addWatch(unsigned Session, unsigned User, unsigned Page);
+  void removeWatch(unsigned Session, unsigned User, unsigned Page);
+
+  void addRandomTxn(unsigned Session, Rng &R);
+
+  VarId pageVar(unsigned Page) const { return PageRev[Page]; }
+  VarId watchVar(unsigned User) const { return Watch[User]; }
+
+private:
+  ProgramBuilder &B;
+  unsigned NumUsers, NumPages;
+  std::vector<VarId> PageRev, Watch;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_APPS_WIKIPEDIA_H

@@ -1,0 +1,156 @@
+//===- consistency/Axioms.cpp - First-order axioms over (h, co) -----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Axioms.h"
+
+using namespace txdpor;
+
+namespace {
+
+/// Iterates the instances of the axiom schema (1) of §2.2.2: for each
+/// external read event α (of variable X, at position Pos of transaction
+/// T3, reading from T1) calls Fn(T1, T3, Pos, X). Reads without an
+/// assigned writer (possible only in partial histories mid-construction)
+/// are skipped.
+template <typename FnT> void forEachReadFrom(const History &H, FnT Fn) {
+  for (unsigned T3 = 0, E = H.numTxns(); T3 != E; ++T3) {
+    const TransactionLog &Log = H.txn(T3);
+    for (uint32_t Pos = 0, PE = static_cast<uint32_t>(Log.size()); Pos != PE;
+         ++Pos) {
+      std::optional<TxnUid> W = Log.writerOf(Pos);
+      if (!W)
+        continue;
+      std::optional<unsigned> T1 = H.indexOf(*W);
+      assert(T1 && "wr writer missing from history");
+      Fn(*T1, T3, Pos, Log.event(Pos).Var);
+    }
+  }
+}
+
+/// Evaluates the schema with a transaction-level φ: for every read
+/// t1 -wr_x-> t3 and every t2 ≠ t1 with writes(t2) ∋ x and Phi(t2, t3),
+/// requires (t2, t1) ∈ co.
+template <typename PhiT>
+bool schemaHolds(const History &H, const Relation &Co, PhiT Phi) {
+  bool Ok = true;
+  forEachReadFrom(H, [&](unsigned T1, unsigned T3, uint32_t, VarId X) {
+    if (!Ok)
+      return;
+    for (unsigned T2 = 0, E = H.numTxns(); T2 != E; ++T2) {
+      if (T2 == T1 || !H.txn(T2).writesVar(X))
+        continue;
+      if (Phi(T2, T3) && !Co.get(T2, T1)) {
+        Ok = false;
+        return;
+      }
+    }
+  });
+  return Ok;
+}
+
+} // namespace
+
+bool txdpor::readCommittedAxiom(const History &H, const Relation &Co) {
+  // Event-granular: φ(t2, α) = ⟨t2, α⟩ ∈ wr ∘ po, i.e. some earlier read β
+  // of the same transaction reads from t2.
+  bool Ok = true;
+  forEachReadFrom(H, [&](unsigned T1, unsigned T3, uint32_t Pos, VarId X) {
+    if (!Ok)
+      return;
+    const TransactionLog &Log = H.txn(T3);
+    for (uint32_t Prev = 0; Prev != Pos && Ok; ++Prev) {
+      std::optional<TxnUid> W = Log.writerOf(Prev);
+      if (!W)
+        continue;
+      std::optional<unsigned> T2 = H.indexOf(*W);
+      assert(T2 && "wr writer missing from history");
+      if (*T2 == T1 || !H.txn(*T2).writesVar(X))
+        continue;
+      if (!Co.get(*T2, T1))
+        Ok = false;
+    }
+  });
+  return Ok;
+}
+
+bool txdpor::readAtomicAxiom(const History &H, const Relation &Co) {
+  Relation SoWr = H.soWrRelation();
+  return schemaHolds(H, Co,
+                     [&](unsigned T2, unsigned T3) { return SoWr.get(T2, T3); });
+}
+
+bool txdpor::causalConsistencyAxiom(const History &H, const Relation &Co) {
+  Relation Causal = H.causalRelation();
+  return schemaHolds(
+      H, Co, [&](unsigned T2, unsigned T3) { return Causal.get(T2, T3); });
+}
+
+bool txdpor::prefixAxiom(const History &H, const Relation &Co) {
+  // φ(t2, t3) = (t2, t3) ∈ co* ∘ (wr ∪ so): some t' with (t2,t') ∈ co*
+  // (reflexive!) and (t', t3) ∈ wr ∪ so.
+  Relation CoStar = Co;
+  CoStar.addReflexive(); // co is already transitive as a total order.
+  Relation SoWr = H.soWrRelation();
+  Relation Phi = CoStar.composeWith(SoWr);
+  return schemaHolds(H, Co,
+                     [&](unsigned T2, unsigned T3) { return Phi.get(T2, T3); });
+}
+
+bool txdpor::conflictAxiom(const History &H, const Relation &Co) {
+  Relation CoStar = Co;
+  CoStar.addReflexive();
+  unsigned N = H.numTxns();
+  // Precompute, per transaction pair (t2, t3): exists t4 and variable y
+  // with t3 writes y, t4 writes y, (t2,t4) ∈ co*, (t4,t3) ∈ co.
+  Relation Phi(N);
+  for (unsigned T3 = 0; T3 != N; ++T3) {
+    std::vector<VarId> T3Writes = H.txn(T3).writtenVars();
+    if (T3Writes.empty())
+      continue;
+    for (unsigned T4 = 0; T4 != N; ++T4) {
+      if (!Co.get(T4, T3))
+        continue;
+      bool SharesVar = false;
+      for (VarId Y : T3Writes)
+        if (H.txn(T4).writesVar(Y)) {
+          SharesVar = true;
+          break;
+        }
+      if (!SharesVar)
+        continue;
+      for (unsigned T2 = 0; T2 != N; ++T2)
+        if (CoStar.get(T2, T4))
+          Phi.set(T2, T3);
+    }
+  }
+  return schemaHolds(H, Co,
+                     [&](unsigned T2, unsigned T3) { return Phi.get(T2, T3); });
+}
+
+bool txdpor::serializabilityAxiom(const History &H, const Relation &Co) {
+  return schemaHolds(H, Co,
+                     [&](unsigned T2, unsigned T3) { return Co.get(T2, T3); });
+}
+
+bool txdpor::axiomsHold(const History &H, const Relation &Co,
+                        IsolationLevel Level) {
+  switch (Level) {
+  case IsolationLevel::Trivial:
+    return true;
+  case IsolationLevel::ReadCommitted:
+    return readCommittedAxiom(H, Co);
+  case IsolationLevel::ReadAtomic:
+    return readAtomicAxiom(H, Co);
+  case IsolationLevel::CausalConsistency:
+    return causalConsistencyAxiom(H, Co);
+  case IsolationLevel::SnapshotIsolation:
+    return prefixAxiom(H, Co) && conflictAxiom(H, Co);
+  case IsolationLevel::Serializability:
+    return serializabilityAxiom(H, Co);
+  }
+  return false;
+}

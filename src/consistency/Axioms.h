@@ -1,0 +1,55 @@
+//===- consistency/Axioms.h - First-order axioms over (h, co) -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Literal evaluation of the isolation-level axioms of Fig. 2 and Fig. A.1
+/// against a concrete commit order co. This is the ground-truth semantics:
+/// a history satisfies a level iff some strict total order co extending
+/// so ∪ wr satisfies the level's axioms (Def. 2.2). The efficient checkers
+/// are validated against enumeration over these predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_AXIOMS_H
+#define TXDPOR_CONSISTENCY_AXIOMS_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "support/Relation.h"
+
+namespace txdpor {
+
+/// Evaluates the axioms of \p Level on (\p H, \p Co). \p Co must be a
+/// strict total order over H's transactions given as a Relation; the caller
+/// is responsible for Co extending so ∪ wr (Def. 2.2 requires it; this
+/// function only checks the axioms). For Trivial the result is always true.
+bool axiomsHold(const History &H, const Relation &Co, IsolationLevel Level);
+
+/// The Read Committed axiom (Fig. A.1a), which is event-granular:
+/// for every external read event α of x in t3 reading from t1, and every
+/// t2 ∉ {t1} with writes(t2) ∋ x and ⟨t2, α⟩ ∈ wr ∘ po:  (t2, t1) ∈ co.
+bool readCommittedAxiom(const History &H, const Relation &Co);
+
+/// The Read Atomic axiom (Fig. A.1b): φ(t2, t3) = (t2, t3) ∈ so ∪ wr.
+bool readAtomicAxiom(const History &H, const Relation &Co);
+
+/// The Causal Consistency axiom (Fig. 2a): φ(t2, t3) = (t2,t3) ∈ (so∪wr)+.
+bool causalConsistencyAxiom(const History &H, const Relation &Co);
+
+/// The Prefix axiom (Fig. 2b): φ(t2, t3) = (t2, t3) ∈ co* ∘ (wr ∪ so).
+bool prefixAxiom(const History &H, const Relation &Co);
+
+/// The Conflict axiom (Fig. 2c): t2 writes x; if t3 writes y, t4 writes y,
+/// (t2,t4) ∈ co*, (t4,t3) ∈ co, then (t2,t1) ∈ co.
+bool conflictAxiom(const History &H, const Relation &Co);
+
+/// The Serializability axiom (Fig. 2d): φ(t2, t3) = (t2, t3) ∈ co.
+bool serializabilityAxiom(const History &H, const Relation &Co);
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_AXIOMS_H

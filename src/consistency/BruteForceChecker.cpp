@@ -1,0 +1,78 @@
+//===- consistency/BruteForceChecker.cpp - Literal Def. 2.2 oracle --------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/BruteForceChecker.h"
+
+#include "consistency/Axioms.h"
+
+#include <vector>
+
+using namespace txdpor;
+
+namespace {
+
+/// Enumerates all topological orders of SoWr; calls TryOrder on each and
+/// stops early once one satisfies the axioms.
+class OrderEnumerator {
+public:
+  OrderEnumerator(const History &H, IsolationLevel Level)
+      : H(H), Level(Level), N(H.numTxns()), SoWr(H.soWrRelation()) {}
+
+  bool anyOrderSatisfies() {
+    std::vector<bool> Placed(N, false);
+    Sequence.clear();
+    return enumerate(Placed);
+  }
+
+private:
+  bool enumerate(std::vector<bool> &Placed) {
+    if (Sequence.size() == N) {
+      Relation Co(N);
+      for (unsigned I = 0; I != N; ++I)
+        for (unsigned J = I + 1; J != N; ++J)
+          Co.set(Sequence[I], Sequence[J]);
+      return axiomsHold(H, Co, Level);
+    }
+    for (unsigned T = 0; T != N; ++T) {
+      if (Placed[T])
+        continue;
+      bool Ready = true;
+      for (unsigned P = 0; P != N && Ready; ++P)
+        if (SoWr.get(P, T) && !Placed[P])
+          Ready = false;
+      if (!Ready)
+        continue;
+      Placed[T] = true;
+      Sequence.push_back(T);
+      if (enumerate(Placed))
+        return true;
+      Sequence.pop_back();
+      Placed[T] = false;
+    }
+    return false;
+  }
+
+  const History &H;
+  IsolationLevel Level;
+  unsigned N;
+  Relation SoWr;
+  std::vector<unsigned> Sequence;
+};
+
+} // namespace
+
+bool BruteForceChecker::isConsistent(const History &H) const {
+  H.checkWellFormed();
+  if (Level == IsolationLevel::Trivial)
+    return true;
+  // Def. 2.1 already requires so ∪ wr acyclic; an inconsistent input graph
+  // has no commit order at all.
+  if (!H.soWrRelation().isAcyclic())
+    return false;
+  OrderEnumerator Enumerator(H, Level);
+  return Enumerator.anyOrderSatisfies();
+}

@@ -1,0 +1,37 @@
+//===- consistency/BruteForceChecker.h - Literal Def. 2.2 oracle ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference checker that follows Def. 2.2 verbatim: enumerate every strict
+/// total order co extending so ∪ wr (as topological orders of the so ∪ wr
+/// graph) and evaluate the level's first-order axioms on (h, co). It is
+/// exponential and exists only to validate the production checkers in the
+/// test suite on small histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_BRUTEFORCECHECKER_H
+#define TXDPOR_CONSISTENCY_BRUTEFORCECHECKER_H
+
+#include "consistency/ConsistencyChecker.h"
+
+namespace txdpor {
+
+class BruteForceChecker : public ConsistencyChecker {
+public:
+  explicit BruteForceChecker(IsolationLevel Level) : Level(Level) {}
+
+  IsolationLevel level() const override { return Level; }
+  bool isConsistent(const History &H) const override;
+
+private:
+  IsolationLevel Level;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_BRUTEFORCECHECKER_H

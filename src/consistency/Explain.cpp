@@ -1,0 +1,266 @@
+//===- consistency/Explain.cpp - Violation witnesses and explanations -----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Explain.h"
+
+#include "history/Prefix.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace txdpor;
+
+std::string ConstraintEdge::describe(const History &H,
+                                     const VarNameFn *Names) const {
+  auto Var_ = [&](VarId V) {
+    return Names ? (*Names)(V) : ("x" + std::to_string(V));
+  };
+  std::string A = H.txn(From).uid().str();
+  std::string B = H.txn(To).uid().str();
+  switch (EdgeKind) {
+  case Kind::SessionOrder:
+    return A + " precedes " + B + " in session order";
+  case Kind::WriteRead:
+    return B + " reads from " + A;
+  case Kind::Axiom:
+    return A + " must commit before " + B + " because " +
+           H.txn(ReaderTxn).uid().str() + " reads " + Var_(Var) + " from " +
+           B + " while " + A + " also writes " + Var_(Var) +
+           " and is visible to the reader";
+  }
+  return "";
+}
+
+Relation txdpor::constraintGraphWithReasons(
+    const History &H, IsolationLevel Level,
+    std::vector<ConstraintEdge> &Edges) {
+  assert((Level == IsolationLevel::ReadCommitted ||
+          Level == IsolationLevel::ReadAtomic ||
+          Level == IsolationLevel::CausalConsistency) &&
+         "constraint graphs exist for saturation levels only");
+  unsigned N = H.numTxns();
+  Relation Graph(N);
+
+  auto AddEdge = [&](ConstraintEdge E) {
+    if (Graph.get(E.From, E.To))
+      return; // Keep the first (usually most primitive) reason.
+    Graph.set(E.From, E.To);
+    Edges.push_back(E);
+  };
+
+  Relation So = H.soRelation();
+  Relation Wr = H.wrRelation();
+  for (unsigned A = 0; A != N; ++A) {
+    So.forEachSuccessor(A, [&](unsigned B) {
+      AddEdge({ConstraintEdge::Kind::SessionOrder, A, B, 0, 0});
+    });
+    Wr.forEachSuccessor(A, [&](unsigned B) {
+      AddEdge({ConstraintEdge::Kind::WriteRead, A, B, 0, 0});
+    });
+  }
+
+  Relation Phi(N);
+  if (Level == IsolationLevel::ReadAtomic)
+    Phi = H.soWrRelation();
+  else if (Level == IsolationLevel::CausalConsistency)
+    Phi = H.causalRelation();
+
+  for (unsigned T3 = 0; T3 != N; ++T3) {
+    const TransactionLog &Log = H.txn(T3);
+    for (uint32_t Pos = 0, PE = static_cast<uint32_t>(Log.size()); Pos != PE;
+         ++Pos) {
+      std::optional<TxnUid> W = Log.writerOf(Pos);
+      if (!W)
+        continue;
+      unsigned T1 = *H.indexOf(*W);
+      VarId X = Log.event(Pos).Var;
+      if (Level == IsolationLevel::ReadCommitted) {
+        for (uint32_t Prev = 0; Prev != Pos; ++Prev) {
+          std::optional<TxnUid> PW = Log.writerOf(Prev);
+          if (!PW)
+            continue;
+          unsigned T2 = *H.indexOf(*PW);
+          if (T2 != T1 && H.txn(T2).writesVar(X))
+            AddEdge({ConstraintEdge::Kind::Axiom, T2, T1, X, T3});
+        }
+        continue;
+      }
+      for (unsigned T2 = 0; T2 != N; ++T2)
+        if (T2 != T1 && Phi.get(T2, T3) && H.txn(T2).writesVar(X))
+          AddEdge({ConstraintEdge::Kind::Axiom, T2, T1, X, T3});
+    }
+  }
+  return Graph;
+}
+
+std::vector<unsigned> txdpor::findCycle(const Relation &Graph) {
+  unsigned N = Graph.size();
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(N, White);
+  std::vector<int> Parent(N, -1);
+
+  // Iterative DFS; on hitting a gray node, reconstruct the cycle.
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Colors[Root] != White)
+      continue;
+    std::vector<std::pair<unsigned, std::vector<unsigned>>> Stack;
+    Stack.push_back({Root, Graph.successors(Root)});
+    Colors[Root] = Gray;
+    while (!Stack.empty()) {
+      auto &[Node, Succs] = Stack.back();
+      if (Succs.empty()) {
+        Colors[Node] = Black;
+        Stack.pop_back();
+        continue;
+      }
+      unsigned Next = Succs.back();
+      Succs.pop_back();
+      if (Colors[Next] == Gray) {
+        // Found a back edge Node -> Next: walk the stack from Next.
+        std::vector<unsigned> Cycle;
+        bool Collecting = false;
+        for (const auto &[N2, _] : Stack) {
+          if (N2 == Next)
+            Collecting = true;
+          if (Collecting)
+            Cycle.push_back(N2);
+        }
+        return Cycle;
+      }
+      if (Colors[Next] == White) {
+        Colors[Next] = Gray;
+        Parent[Next] = static_cast<int>(Node);
+        Stack.push_back({Next, Graph.successors(Next)});
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+const ConstraintEdge *findEdge(const std::vector<ConstraintEdge> &Edges,
+                               unsigned From, unsigned To) {
+  for (const ConstraintEdge &E : Edges)
+    if (E.From == From && E.To == To)
+      return &E;
+  return nullptr;
+}
+
+ViolationExplanation explainSaturation(const History &H,
+                                       IsolationLevel Level,
+                                       const VarNameFn *Names) {
+  ViolationExplanation Result;
+  Result.Level = Level;
+  std::vector<ConstraintEdge> Edges;
+  Relation Graph = constraintGraphWithReasons(H, Level, Edges);
+  std::vector<unsigned> Cycle = findCycle(Graph);
+  if (Cycle.empty()) {
+    Result.Consistent = true;
+    Result.Text = std::string("history satisfies ") +
+                  isolationLevelName(Level);
+    return Result;
+  }
+  Result.Consistent = false;
+  std::ostringstream OS;
+  OS << "history violates " << isolationLevelName(Level)
+     << ": the commit order would need a cycle\n";
+  for (size_t I = 0; I != Cycle.size(); ++I) {
+    unsigned From = Cycle[I];
+    unsigned To = Cycle[(I + 1) % Cycle.size()];
+    const ConstraintEdge *E = findEdge(Edges, From, To);
+    assert(E && "cycle edge missing provenance");
+    Result.Cycle.push_back(*E);
+    OS << "  - " << E->describe(H, Names) << '\n';
+  }
+  Result.Text = OS.str();
+  return Result;
+}
+
+} // namespace
+
+History txdpor::minimizeViolation(const History &H, IsolationLevel Level) {
+  assert(!isConsistent(H, Level) && "nothing to minimize");
+  History Current = H;
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    // Try dropping each non-init transaction (latest blocks first: they
+    // have the fewest dependents). Dropping one transaction drags its
+    // readers and session successors along via downward closure.
+    for (unsigned I = Current.numTxns(); I-- > 1;) {
+      PrefixCut Cut;
+      for (unsigned J = 0, E = Current.numTxns(); J != E; ++J)
+        Cut.push_back(static_cast<uint32_t>(Current.txn(J).size()));
+      Cut[I] = 0;
+      closeDownward(Current, Cut);
+      History Candidate = takePrefix(Current, Cut);
+      if (Candidate.numTxns() == Current.numTxns())
+        continue; // Nothing was actually removed.
+      if (isConsistent(Candidate, Level))
+        continue; // The violation needs this transaction.
+      Current = std::move(Candidate);
+      Shrunk = true;
+      break;
+    }
+  }
+  return Current;
+}
+
+ViolationExplanation txdpor::explainViolation(const History &H,
+                                              IsolationLevel Level,
+                                              const VarNameFn *Names) {
+  switch (Level) {
+  case IsolationLevel::Trivial: {
+    ViolationExplanation Result;
+    Result.Level = Level;
+    Result.Text = "every history satisfies the trivial level";
+    return Result;
+  }
+  case IsolationLevel::ReadCommitted:
+  case IsolationLevel::ReadAtomic:
+  case IsolationLevel::CausalConsistency:
+    return explainSaturation(H, Level, Names);
+  case IsolationLevel::SnapshotIsolation:
+  case IsolationLevel::Serializability: {
+    ViolationExplanation Result;
+    Result.Level = Level;
+    if (isConsistent(H, Level)) {
+      Result.Text = std::string("history satisfies ") +
+                    isolationLevelName(Level);
+      return Result;
+    }
+    Result.Consistent = false;
+    // Reuse a weaker level's crisp witness when available.
+    for (IsolationLevel Weaker :
+         {IsolationLevel::CausalConsistency, IsolationLevel::ReadAtomic,
+          IsolationLevel::ReadCommitted}) {
+      if (isConsistent(H, Weaker))
+        continue;
+      ViolationExplanation Inner = explainSaturation(H, Weaker, Names);
+      Result.Cycle = std::move(Inner.Cycle);
+      Result.Text = std::string("history violates ") +
+                    isolationLevelName(Level) + " (already at " +
+                    isolationLevelName(Weaker) + "):\n" + Inner.Text;
+      return Result;
+    }
+    Result.Text = std::string("history violates ") +
+                  isolationLevelName(Level) +
+                  ": no commit order satisfies the " +
+                  (Level == IsolationLevel::SnapshotIsolation
+                       ? "Prefix and Conflict axioms (search exhausted); "
+                         "typical causes: write-write conflicts between "
+                         "concurrent snapshots or long-fork observations"
+                       : "Serializability axiom (search exhausted); the "
+                         "reads of some transactions cannot be placed "
+                         "after their writers without missing a newer "
+                         "write");
+    return Result;
+  }
+  }
+  return {};
+}

@@ -1,0 +1,74 @@
+//===- consistency/IsolationLevel.h - The isolation-level lattice ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The isolation levels of §2.2 plus the trivial level "true" used by the
+/// evaluation (§7.3, the algorithm explore-ce*(true, CC)). The paper's
+/// strength ordering is a chain:
+///
+///   true  <  RC  <  RA  <  CC  <  SI  <  SER
+///
+/// where "I1 weaker than I2" means every I2-consistent history is also
+/// I1-consistent. RC, RA and CC (and trivially "true") are prefix-closed
+/// and causally extensible (Theorems 3.2, 3.4); SI and SER are prefix
+/// closed but not causally extensible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_ISOLATIONLEVEL_H
+#define TXDPOR_CONSISTENCY_ISOLATIONLEVEL_H
+
+#include <array>
+#include <cstdint>
+
+namespace txdpor {
+
+enum class IsolationLevel : uint8_t {
+  Trivial,             ///< "true": every history is consistent.
+  ReadCommitted,       ///< RC (Fig. A.1a).
+  ReadAtomic,          ///< RA (Fig. A.1b).
+  CausalConsistency,   ///< CC (Fig. 2a).
+  SnapshotIsolation,   ///< SI = Prefix ∧ Conflict (Fig. 2b, 2c).
+  Serializability,     ///< SER (Fig. 2d).
+};
+
+/// All levels, weakest first.
+inline constexpr std::array<IsolationLevel, 6> AllIsolationLevels = {
+    IsolationLevel::Trivial,           IsolationLevel::ReadCommitted,
+    IsolationLevel::ReadAtomic,        IsolationLevel::CausalConsistency,
+    IsolationLevel::SnapshotIsolation, IsolationLevel::Serializability,
+};
+
+/// Short name used in output tables ("true", "RC", "RA", "CC", "SI",
+/// "SER").
+const char *isolationLevelName(IsolationLevel Level);
+
+/// True if \p Weaker admits every \p Stronger-consistent history
+/// (reflexive).
+inline bool isWeakerOrEqual(IsolationLevel Weaker, IsolationLevel Stronger) {
+  return static_cast<uint8_t>(Weaker) <= static_cast<uint8_t>(Stronger);
+}
+
+/// True for the levels where explore-ce is sound, complete and strongly
+/// optimal (§5): prefix-closed and causally-extensible levels.
+inline bool isPrefixClosedCausallyExtensible(IsolationLevel Level) {
+  switch (Level) {
+  case IsolationLevel::Trivial:
+  case IsolationLevel::ReadCommitted:
+  case IsolationLevel::ReadAtomic:
+  case IsolationLevel::CausalConsistency:
+    return true;
+  case IsolationLevel::SnapshotIsolation:
+  case IsolationLevel::Serializability:
+    return false;
+  }
+  return false;
+}
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_ISOLATIONLEVEL_H

@@ -1,0 +1,57 @@
+//===- consistency/SaturationChecker.cpp - Poly checkers for RC/RA/CC -----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/SaturationChecker.h"
+
+using namespace txdpor;
+
+Relation SaturationChecker::constraintGraph(const History &H) const {
+  unsigned N = H.numTxns();
+  Relation Constraints = H.soWrRelation();
+
+  // φ for RA / CC; unused for RC.
+  Relation Phi(N);
+  if (Level == IsolationLevel::ReadAtomic)
+    Phi = H.soWrRelation();
+  else if (Level == IsolationLevel::CausalConsistency)
+    Phi = H.causalRelation();
+
+  for (unsigned T3 = 0; T3 != N; ++T3) {
+    const TransactionLog &Log = H.txn(T3);
+    for (uint32_t Pos = 0, PE = static_cast<uint32_t>(Log.size()); Pos != PE;
+         ++Pos) {
+      std::optional<TxnUid> W = Log.writerOf(Pos);
+      if (!W)
+        continue;
+      unsigned T1 = *H.indexOf(*W);
+      VarId X = Log.event(Pos).Var;
+
+      if (Level == IsolationLevel::ReadCommitted) {
+        // Event-granular premise: t2 is read by an earlier read of the
+        // same transaction (wr ∘ po reaches this read event).
+        for (uint32_t Prev = 0; Prev != Pos; ++Prev) {
+          std::optional<TxnUid> PW = Log.writerOf(Prev);
+          if (!PW)
+            continue;
+          unsigned T2 = *H.indexOf(*PW);
+          if (T2 != T1 && H.txn(T2).writesVar(X))
+            Constraints.set(T2, T1);
+        }
+        continue;
+      }
+
+      for (unsigned T2 = 0; T2 != N; ++T2)
+        if (T2 != T1 && Phi.get(T2, T3) && H.txn(T2).writesVar(X))
+          Constraints.set(T2, T1);
+    }
+  }
+  return Constraints;
+}
+
+bool SaturationChecker::isConsistent(const History &H) const {
+  return constraintGraph(H).isAcyclic();
+}

@@ -1,0 +1,49 @@
+//===- consistency/SerializabilityChecker.h - SER via sequence search -----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializability checking (NP-complete in general, Biswas & Enea 2019).
+/// The SER axiom (Fig. 2d) is equivalent to: there is a total order co
+/// extending so ∪ wr in which every external read of x returns the write
+/// of the co-latest preceding transaction that visibly writes x. We search
+/// for such an order by appending transactions one at a time:
+///
+///   * a transaction is appendable when all its so ∪ wr predecessors are
+///     placed and, for each of its external reads of x, the last placed
+///     writer of x is exactly its wr writer;
+///   * failed search states are memoized on (placed-set, last-writer map),
+///     which is the entire relevant state of a prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_SERIALIZABILITYCHECKER_H
+#define TXDPOR_CONSISTENCY_SERIALIZABILITYCHECKER_H
+
+#include "consistency/ConsistencyChecker.h"
+
+#include <optional>
+#include <vector>
+
+namespace txdpor {
+
+class SerializabilityChecker : public ConsistencyChecker {
+public:
+  IsolationLevel level() const override {
+    return IsolationLevel::Serializability;
+  }
+  bool isConsistent(const History &H) const override;
+
+  /// Like isConsistent, but returns the witnessing commit order (a
+  /// serialization: transaction indices in commit sequence), or nullopt
+  /// if the history is not serializable.
+  std::optional<std::vector<unsigned>>
+  findCommitOrder(const History &H) const;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_SERIALIZABILITYCHECKER_H

@@ -1,0 +1,50 @@
+//===- consistency/Witness.h - Commit-order certificates ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consistency with an isolation level is an existential statement
+/// (Def. 2.2: *some* commit order satisfies the axioms), so a checker's
+/// "yes" is only as trustworthy as its implementation. This module turns
+/// every "yes" into a verifiable certificate: the witnessing commit order
+/// itself, which any client can replay through the first-order axioms
+/// (consistency/Axioms.h) in polynomial time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_WITNESS_H
+#define TXDPOR_CONSISTENCY_WITNESS_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "support/Relation.h"
+
+#include <optional>
+#include <vector>
+
+namespace txdpor {
+
+/// Returns a strict total commit order (transaction indices in commit
+/// sequence) extending so ∪ wr under which \p H satisfies \p Level, or
+/// nullopt iff \p H is inconsistent with \p Level. Agrees with
+/// isConsistent() by construction.
+std::optional<std::vector<unsigned>> findCommitOrder(const History &H,
+                                                     IsolationLevel Level);
+
+/// Converts a commit sequence into the corresponding strict total order
+/// relation (for feeding axiomsHold).
+Relation commitOrderRelation(unsigned NumTxns,
+                             const std::vector<unsigned> &Sequence);
+
+/// Validates a certificate: \p Sequence must be a permutation of H's
+/// transactions whose order extends so ∪ wr and satisfies the axioms of
+/// \p Level.
+bool validateCommitOrder(const History &H, IsolationLevel Level,
+                         const std::vector<unsigned> &Sequence);
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_WITNESS_H

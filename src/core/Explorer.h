@@ -1,0 +1,98 @@
+//===- core/Explorer.h - The swapping-based SMC algorithms (§4–§6) --------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explore-ce / explore-ce* algorithms (Algorithm 1 instantiated per
+/// §5 and §6):
+///
+///   * Next (§5.1) schedules deterministically along a fixed oracle order,
+///     always completing the (unique) pending transaction first;
+///   * read events branch over ValidWrites — the committed writers whose
+///     wr choice keeps the history BaseLevel-consistent;
+///   * after each commit, exploreSwaps re-orders the just-committed
+///     transaction before earlier reads (ComputeReorderings + Swap, §5.2),
+///     gated by the Optimality condition (§5.3);
+///   * complete histories pass through the Valid filter (§6): none for
+///     explore-ce, a FilterLevel consistency check for explore-ce*.
+///
+/// For BaseLevel ∈ {true, RC, RA, CC} the exploration is sound, complete,
+/// strongly optimal and polynomial space (Theorem 5.1); with a FilterLevel
+/// ∈ {SI, SER} it is sound, complete and (plain) optimal (Corollary 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_EXPLORER_H
+#define TXDPOR_CORE_EXPLORER_H
+
+#include "consistency/ConsistencyChecker.h"
+#include "core/ExplorerConfig.h"
+#include "core/Swap.h"
+#include "program/Program.h"
+#include "semantics/Executor.h"
+
+namespace txdpor {
+
+/// One exploration run over a program. Construct, then call run() once.
+class Explorer {
+public:
+  Explorer(const Program &Prog, ExplorerConfig Config);
+
+  /// Explores the program; \p Visit receives every output history (after
+  /// the Valid filter). Returns the collected statistics.
+  ExplorerStats run(const HistoryVisitor &Visit = {});
+
+private:
+  /// What Next(P, h, locals) returned.
+  struct NextOp {
+    bool Done = false;  ///< Program finished (⊥).
+    TxnUid Uid{};       ///< Transaction the event belongs to.
+    bool IsBegin = false;
+    DbOp Op{};          ///< Valid unless Done/IsBegin.
+    TxnCursor Advanced; ///< Cursor after local steps (unless Done/IsBegin).
+  };
+
+  NextOp computeNext(const History &H, const CursorMap &Cursors) const;
+
+  void explore(History H, CursorMap Cursors, unsigned Depth);
+  void exploreSwaps(const History &H, unsigned Depth);
+  void reachedEndState(const History &H);
+  bool shouldStop();
+
+  /// One worklist entry of the iterative implementation (§7.1): a history
+  /// with its execution cursors, at a recursion depth.
+  struct WorkItem {
+    History H;
+    CursorMap Cursors;
+    unsigned Depth;
+  };
+
+  /// Iterative (explicit-stack) variant of explore(); pops depth-first so
+  /// the visit order matches the recursive implementation exactly.
+  void exploreIterative(History Initial);
+
+  /// Expands one item: visits it and appends its children (extension
+  /// branches, then swap branches) to \p Out in recursive visit order.
+  void expandItem(WorkItem Item, std::vector<WorkItem> &Out);
+
+  const Program &Prog;
+  ExplorerConfig Config;
+  const ConsistencyChecker &Base;
+  const ConsistencyChecker *Filter = nullptr;
+  std::vector<TxnUid> OracleSequence; ///< Start order used by Next.
+  OracleOrder Order;                  ///< Comparator shared with swapped().
+  HistoryVisitor Visit;
+  ExplorerStats Stats;
+  bool Stop = false;
+};
+
+/// Convenience entry point: runs an exploration and returns its stats.
+ExplorerStats exploreProgram(const Program &Prog, ExplorerConfig Config,
+                             const HistoryVisitor &Visit = {});
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_EXPLORER_H

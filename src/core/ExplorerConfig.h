@@ -1,0 +1,122 @@
+//===- core/ExplorerConfig.h - Exploration options and statistics ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration and statistics shared by the swapping-based explorer and
+/// the baseline DFS. A configuration chooses one of the paper's algorithm
+/// instances:
+///
+///   * explore-ce(I0)          — BaseLevel = I0, no FilterLevel (§5);
+///   * explore-ce*(I0, I)      — BaseLevel = I0, FilterLevel = I (§6);
+///
+/// plus ablation knobs that disable the individual §5.3 optimality
+/// mechanisms (used by bench_ablation to quantify what each buys).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_EXPLORERCONFIG_H
+#define TXDPOR_CORE_EXPLORERCONFIG_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "support/Deadline.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace txdpor {
+
+/// Options of one exploration run.
+struct ExplorerConfig {
+  /// I0: the prefix-closed, causally-extensible level driving ValidWrites
+  /// and the swap machinery. Must be one of true / RC / RA / CC (§5, §6).
+  IsolationLevel BaseLevel = IsolationLevel::CausalConsistency;
+
+  /// I: the level of the final Valid filter (§6). Unset means
+  /// Valid(h) = true, i.e. plain explore-ce(BaseLevel).
+  std::optional<IsolationLevel> FilterLevel;
+
+  /// Wall-clock budget; expired explorations report TimedOut.
+  Deadline TimeBudget;
+
+  /// §5.3 ablations: disable the "already swapped" restriction
+  /// (Fig. 13 mechanism) or the readLatest restriction (Fig. 12
+  /// mechanism). Disabling either loses optimality (duplicate histories);
+  /// the algorithm remains sound and complete.
+  bool CheckSwapped = true;
+  bool CheckReadLatest = true;
+
+  /// Safety valve for ablations and huge programs: stop after this many
+  /// end states (0 = unlimited).
+  uint64_t MaxEndStates = 0;
+
+  /// Debug hook: called with every ordered history the exploration
+  /// visits (at explore() entry, i.e. including partial histories). Used
+  /// by the test suite to assert the Appendix E invariants dynamically.
+  std::function<void(const History &)> OnExplore;
+
+  /// Use the iterative worklist implementation instead of recursion. The
+  /// paper's JPF tool does the same "for performance reasons ... inputs
+  /// to recursive calls are maintained as a collection of histories
+  /// instead of relying on the call stack" (§7.1). Outputs and statistics
+  /// are identical to the recursive implementation (asserted by the test
+  /// suite); only the C++ stack usage differs.
+  bool Iterative = false;
+
+  /// Order in which Next starts transactions when none is pending (§5.1's
+  /// oracle order). Empty means the default: sessions ascending, within a
+  /// session by position. A custom order must list every transaction of
+  /// the program exactly once and be consistent with session order; the
+  /// algorithm's output set is invariant under the choice (completeness
+  /// is scheduler-independent), only the exploration order changes.
+  std::vector<TxnUid> OracleOrderOverride;
+
+  /// Returns the paper's name for this configuration, e.g. "CC",
+  /// "CC + SER", "true + CC".
+  std::string algorithmName() const;
+
+  static ExplorerConfig exploreCE(IsolationLevel Base) {
+    ExplorerConfig C;
+    C.BaseLevel = Base;
+    return C;
+  }
+  static ExplorerConfig exploreCEStar(IsolationLevel Base,
+                                      IsolationLevel Filter) {
+    ExplorerConfig C;
+    C.BaseLevel = Base;
+    C.FilterLevel = Filter;
+    return C;
+  }
+};
+
+/// Counters reported by every exploration (the paper reports time, memory
+/// and end states; the rest diagnoses optimality properties in tests).
+struct ExplorerStats {
+  uint64_t ExploreCalls = 0;   ///< Recursive explore invocations.
+  uint64_t EndStates = 0;      ///< Complete executions (before Valid).
+  uint64_t Outputs = 0;        ///< Histories passing the Valid filter.
+  uint64_t EventsAdded = 0;    ///< Events appended across all branches.
+  uint64_t ReadBranches = 0;   ///< wr choices explored.
+  uint64_t BlockedReads = 0;   ///< Reads with no valid write (must be 0
+                               ///< for causally-extensible BaseLevel).
+  uint64_t SwapsConsidered = 0;
+  uint64_t SwapsApplied = 0;
+  uint64_t ConsistencyChecks = 0;
+  uint64_t MaxDepth = 0;
+  bool TimedOut = false;
+  bool HitEndStateCap = false;
+  double ElapsedMillis = 0;
+  uint64_t PeakRssKb = 0;
+};
+
+/// Callback receiving every output history.
+using HistoryVisitor = std::function<void(const History &)>;
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_EXPLORERCONFIG_H

@@ -1,0 +1,48 @@
+//===- core/Invariants.h - Explorer invariants (Appendix E) ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The completeness and optimality proofs of the paper (Appendix E) rest
+/// on an invariant satisfied by every ordered history the algorithm
+/// reaches: *or-respectfulness* (Def. E.5). Informally, whenever the
+/// exploration order < disagrees with the oracle order (a transaction
+/// runs "too early"), a swapped read must justify the inversion:
+///
+///   a history is or-respectful iff it has at most one pending
+///   transaction, and for every event e of the program and event e' in h
+///   with e before e' in the oracle order, either e is in h before e', or
+///   some swapped read e'' of a transaction oracle-before tr(e) precedes
+///   e in h with tr(e') a causal predecessor of tr(e'').
+///
+/// This module implements the check so the test suite can assert Lemma
+/// E.6 dynamically: every ordered history visited by the explorer is
+/// or-respectful. Because transactions occupy contiguous blocks of <,
+/// the event-level definition reduces to block-level checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_INVARIANTS_H
+#define TXDPOR_CORE_INVARIANTS_H
+
+#include "history/History.h"
+#include "program/Program.h"
+
+namespace txdpor {
+
+/// Returns true if the ordered history \p H (block order = log order) is
+/// or-respectful with respect to program \p Prog (Def. E.5). The program
+/// supplies the universe of events outside \p H (unstarted or deleted
+/// transactions).
+bool isOrRespectful(const Program &Prog, const History &H);
+
+/// Returns true if every read of \p H follows its wr writer in the block
+/// order (the paper's footnote 7 invariant).
+bool readsFollowWriters(const History &H);
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_INVARIANTS_H

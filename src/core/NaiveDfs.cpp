@@ -1,0 +1,199 @@
+//===- core/NaiveDfs.cpp - Baseline model checking without POR ------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NaiveDfs.h"
+
+#include "support/MemoryProbe.h"
+
+using namespace txdpor;
+
+NaiveDfs::NaiveDfs(const Program &Prog, NaiveDfsConfig Config)
+    : Prog(Prog), Config(Config), Checker(checkerFor(Config.Level)) {}
+
+ExplorerStats txdpor::naiveDfsProgram(const Program &Prog,
+                                      NaiveDfsConfig Config,
+                                      const HistoryVisitor &Visit) {
+  NaiveDfs Dfs(Prog, Config);
+  return Dfs.run(Visit);
+}
+
+ExplorerStats NaiveDfs::run(const HistoryVisitor &VisitFn) {
+  Visit = VisitFn;
+  Stats = ExplorerStats();
+  Seen.clear();
+  Stop = false;
+  Stopwatch Timer;
+
+  dfs(History::makeInitial(Prog.numVars()), CursorMap(), /*Depth=*/1);
+
+  Stats.ElapsedMillis = Timer.elapsedMillis();
+  Stats.PeakRssKb = peakRssKb();
+  return Stats;
+}
+
+bool NaiveDfs::shouldStop() {
+  if (Stop)
+    return true;
+  if (Config.TimeBudget.expired()) {
+    Stats.TimedOut = true;
+    Stop = true;
+  }
+  return Stop;
+}
+
+void NaiveDfs::dfs(History H, CursorMap Cursors, unsigned Depth) {
+  ++Stats.ExploreCalls;
+  if (Depth > Stats.MaxDepth)
+    Stats.MaxDepth = Depth;
+  if (shouldStop())
+    return;
+
+  // Collect live (pending) transactions and startable sessions.
+  std::vector<TxnUid> Live;
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I)
+    if (H.txn(I).isPending())
+      Live.push_back(H.txn(I).uid());
+
+  std::vector<TxnUid> Startable;
+  if (Live.empty() || Config.Unrestricted) {
+    for (uint32_t S = 0, SE = Prog.numSessions(); S != SE; ++S) {
+      bool SessionLive = false;
+      for (TxnUid U : Live)
+        if (U.Session == S)
+          SessionLive = true;
+      if (SessionLive) // /spawn requires no live transaction in session.
+        continue;
+      // The next unstarted transaction of the session, if any.
+      for (uint32_t T = 0, TE = Prog.numTxns(S); T != TE; ++T) {
+        if (!H.contains({S, T})) {
+          Startable.push_back({S, T});
+          break;
+        }
+      }
+    }
+  }
+
+  if (Live.empty() && Startable.empty()) {
+    ++Stats.EndStates;
+    bool Fresh = true;
+    if (Config.Deduplicate)
+      Fresh = Seen.insert(H.canonicalKey()).second;
+    if (Fresh) {
+      ++Stats.Outputs;
+      if (Visit)
+        Visit(H);
+    }
+    if (Config.MaxEndStates && Stats.EndStates >= Config.MaxEndStates) {
+      Stats.HitEndStateCap = true;
+      Stop = true;
+    }
+    return;
+  }
+
+  // Branch: continue each live transaction (in unrestricted mode all of
+  // them; restricted mode has at most one) ...
+  for (TxnUid Uid : Live) {
+    if (shouldStop())
+      return;
+    History Branch = H;
+    CursorMap BranchCursors = Cursors;
+    stepTransaction(Branch, BranchCursors, Uid, Depth);
+  }
+  // ... and start a transaction in each startable session.
+  for (TxnUid Uid : Startable) {
+    if (shouldStop())
+      return;
+    History Branch = H;
+    CursorMap BranchCursors = Cursors;
+    Branch.beginTxn(Uid);
+    BranchCursors[Uid.packed()] = TxnCursor::fresh(Prog.txn(Uid));
+    ++Stats.EventsAdded;
+    dfs(std::move(Branch), std::move(BranchCursors), Depth + 1);
+  }
+}
+
+void NaiveDfs::stepTransaction(History &H, CursorMap &Cursors, TxnUid Uid,
+                               unsigned Depth) {
+  unsigned Idx = *H.indexOf(Uid);
+  const Transaction &Code = Prog.txn(Uid);
+  TxnCursor Advanced = Cursors.at(Uid.packed());
+  DbOp Op = advanceToDbOp(Code, Advanced);
+
+  switch (Op.Kind) {
+  case DbOp::Kind::Read: {
+    H.appendEvent(Idx, Event::makeRead(Op.Var));
+    ++Stats.EventsAdded;
+    uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
+
+    if (!H.txn(Idx).isExternalRead(Pos)) {
+      // /read-local: deterministic.
+      Cursors[Uid.packed()] = Advanced;
+      applyRead(Code, Cursors[Uid.packed()], H.readValue(Idx, Pos));
+      dfs(std::move(H), std::move(Cursors), Depth + 1);
+      return;
+    }
+
+    // /read-extern: non-deterministic choice among committed writers that
+    // keep the history consistent.
+    std::vector<unsigned> Candidates;
+    for (unsigned W : H.committedWriters(Op.Var)) {
+      if (*H.indexOf(Uid) == W)
+        continue;
+      H.setWriter(Idx, Pos, H.txn(W).uid());
+      ++Stats.ConsistencyChecks;
+      if (Checker.isConsistent(H))
+        Candidates.push_back(W);
+    }
+    if (Candidates.empty())
+      ++Stats.BlockedReads;
+    for (unsigned W : Candidates) {
+      if (shouldStop())
+        return;
+      History Branch = H;
+      Branch.setWriter(Idx, Pos, H.txn(W).uid());
+      CursorMap BranchCursors = Cursors;
+      BranchCursors[Uid.packed()] = Advanced;
+      applyRead(Code, BranchCursors[Uid.packed()],
+                Branch.readValue(Idx, Pos));
+      ++Stats.ReadBranches;
+      dfs(std::move(Branch), std::move(BranchCursors), Depth + 1);
+    }
+    return;
+  }
+
+  case DbOp::Kind::Write: {
+    H.appendEvent(Idx, Event::makeWrite(Op.Var, Op.Val));
+    ++Stats.EventsAdded;
+    // /write is enabled only if the extension stays consistent.
+    ++Stats.ConsistencyChecks;
+    if (!Checker.isConsistent(H))
+      return;
+    Cursors[Uid.packed()] = Advanced;
+    applyWrite(Cursors[Uid.packed()]);
+    dfs(std::move(H), std::move(Cursors), Depth + 1);
+    return;
+  }
+
+  case DbOp::Kind::Abort: {
+    H.appendEvent(Idx, Event::makeAbort());
+    ++Stats.EventsAdded;
+    Cursors[Uid.packed()] = Advanced;
+    applyFinish(Cursors[Uid.packed()]);
+    dfs(std::move(H), std::move(Cursors), Depth + 1);
+    return;
+  }
+
+  case DbOp::Kind::Commit: {
+    H.appendEvent(Idx, Event::makeCommit());
+    ++Stats.EventsAdded;
+    Cursors[Uid.packed()] = Advanced;
+    applyFinish(Cursors[Uid.packed()]);
+    dfs(std::move(H), std::move(Cursors), Depth + 1);
+    return;
+  }
+  }
+}

@@ -1,0 +1,80 @@
+//===- core/NaiveDfs.h - Baseline model checking without POR (§7.3) -------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DFS(I) baseline of the evaluation: a standard depth-first traversal
+/// of the operational semantics of §2.3 with no partial order reduction.
+/// Like the paper ("for fairness, we restrict interleavings so at most one
+/// transaction is pending at a time"), the default mode serializes
+/// transactions but branches over *which* session starts the next
+/// transaction — so the same history is typically reached many times.
+///
+/// Two extra modes serve the test suite:
+///   * Deduplicate — collect each distinct history once: a reference
+///     enumeration of hist_I(P) used by the completeness tests (sound for
+///     every prefix-closed I, which covers all levels here, Thm. 3.2);
+///   * Unrestricted — the fully interleaving semantics (multiple pending
+///     transactions), used on tiny programs to validate that the
+///     one-pending restriction does not lose histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_NAIVEDFS_H
+#define TXDPOR_CORE_NAIVEDFS_H
+
+#include "consistency/ConsistencyChecker.h"
+#include "core/ExplorerConfig.h"
+#include "program/Program.h"
+#include "semantics/Executor.h"
+
+#include <unordered_set>
+
+namespace txdpor {
+
+/// Options for the baseline DFS.
+struct NaiveDfsConfig {
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  Deadline TimeBudget;
+  /// Visit each distinct history once instead of once per execution.
+  bool Deduplicate = false;
+  /// Allow arbitrarily many concurrently pending transactions (one per
+  /// session, per the /spawn rule). Exponential; tiny programs only.
+  bool Unrestricted = false;
+  uint64_t MaxEndStates = 0; ///< 0 = unlimited.
+};
+
+/// Baseline explorer. Construct and call run() once.
+class NaiveDfs {
+public:
+  NaiveDfs(const Program &Prog, NaiveDfsConfig Config);
+
+  /// Runs the DFS; \p Visit receives final histories — every execution's
+  /// history, or each distinct one when deduplicating.
+  ExplorerStats run(const HistoryVisitor &Visit = {});
+
+private:
+  void dfs(History H, CursorMap Cursors, unsigned Depth);
+  void stepTransaction(History &H, CursorMap &Cursors, TxnUid Uid,
+                       unsigned Depth);
+  bool shouldStop();
+
+  const Program &Prog;
+  NaiveDfsConfig Config;
+  const ConsistencyChecker &Checker;
+  HistoryVisitor Visit;
+  ExplorerStats Stats;
+  std::unordered_set<std::string> Seen;
+  bool Stop = false;
+};
+
+/// Convenience wrapper.
+ExplorerStats naiveDfsProgram(const Program &Prog, NaiveDfsConfig Config,
+                              const HistoryVisitor &Visit = {});
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_NAIVEDFS_H

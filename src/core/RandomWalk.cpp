@@ -1,0 +1,119 @@
+//===- core/RandomWalk.cpp - Randomized testing baseline ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RandomWalk.h"
+
+#include "semantics/Executor.h"
+#include "support/Rng.h"
+
+#include <unordered_set>
+
+using namespace txdpor;
+
+namespace {
+
+/// One complete random execution; returns the final history.
+History runOneWalk(const Program &Prog, const ConsistencyChecker &Checker,
+                   Rng &R, uint64_t &EventsExecuted) {
+  History H = History::makeInitial(Prog.numVars());
+  CursorMap Cursors;
+  std::vector<uint32_t> NextTxn(Prog.numSessions(), 0);
+
+  while (true) {
+    // If a transaction is pending, run its next event (the one-pending
+    // discipline of the evaluation's baselines).
+    std::optional<unsigned> Pending = H.pendingTxn();
+    TxnUid Uid;
+    if (Pending) {
+      Uid = H.txn(*Pending).uid();
+    } else {
+      // Pick a random session with transactions left.
+      std::vector<uint32_t> Candidates;
+      for (uint32_t S = 0; S != Prog.numSessions(); ++S)
+        if (NextTxn[S] < Prog.numTxns(S))
+          Candidates.push_back(S);
+      if (Candidates.empty())
+        return H;
+      uint32_t S = Candidates[R.nextBelow(Candidates.size())];
+      Uid = {S, NextTxn[S]++};
+      H.beginTxn(Uid);
+      Cursors[Uid.packed()] = TxnCursor::fresh(Prog.txn(Uid));
+      ++EventsExecuted;
+      continue;
+    }
+
+    unsigned Idx = *H.indexOf(Uid);
+    const Transaction &Code = Prog.txn(Uid);
+    TxnCursor &Cur = Cursors[Uid.packed()];
+    DbOp Op = advanceToDbOp(Code, Cur);
+    ++EventsExecuted;
+
+    switch (Op.Kind) {
+    case DbOp::Kind::Read: {
+      H.appendEvent(Idx, Event::makeRead(Op.Var));
+      uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
+      if (H.txn(Idx).isExternalRead(Pos)) {
+        // Random consistent writer, like MonkeyDB's random weak reads.
+        std::vector<unsigned> Valid;
+        for (unsigned W : H.committedWriters(Op.Var)) {
+          H.setWriter(Idx, Pos, H.txn(W).uid());
+          if (Checker.isConsistent(H))
+            Valid.push_back(W);
+        }
+        assert(!Valid.empty() &&
+               "causally-extensible levels always have a valid writer");
+        unsigned W = Valid[R.nextBelow(Valid.size())];
+        H.setWriter(Idx, Pos, H.txn(W).uid());
+      }
+      applyRead(Code, Cur, H.readValue(Idx, Pos));
+      break;
+    }
+    case DbOp::Kind::Write:
+      H.appendEvent(Idx, Event::makeWrite(Op.Var, Op.Val));
+      applyWrite(Cur);
+      break;
+    case DbOp::Kind::Abort:
+      H.appendEvent(Idx, Event::makeAbort());
+      applyFinish(Cur);
+      break;
+    case DbOp::Kind::Commit:
+      H.appendEvent(Idx, Event::makeCommit());
+      applyFinish(Cur);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+RandomWalkStats txdpor::randomWalkProgram(const Program &Prog,
+                                          const RandomWalkConfig &Config,
+                                          const HistoryVisitor &Visit) {
+  assert(isPrefixClosedCausallyExtensible(Config.Level) &&
+         "random walks need a causally-extensible level to never block");
+  RandomWalkStats Stats;
+  Stopwatch Timer;
+  Rng R(Config.Seed);
+  const ConsistencyChecker &Checker = checkerFor(Config.Level);
+  std::unordered_set<std::string> Seen;
+
+  for (uint64_t Walk = 0; Walk != Config.NumWalks; ++Walk) {
+    if (Config.TimeBudget.expired()) {
+      Stats.TimedOut = true;
+      break;
+    }
+    History H = runOneWalk(Prog, Checker, R, Stats.EventsExecuted);
+    ++Stats.Walks;
+    if (Seen.insert(H.canonicalKey()).second) {
+      ++Stats.DistinctHistories;
+      if (Visit)
+        Visit(H);
+    }
+  }
+  Stats.ElapsedMillis = Timer.elapsedMillis();
+  return Stats;
+}

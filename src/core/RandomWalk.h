@@ -1,0 +1,56 @@
+//===- core/RandomWalk.h - Randomized testing baseline (MonkeyDB-style) ---===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper contrasts systematic SMC with MonkeyDB (Biswas et al. 2021),
+/// a mock storage system that *samples* weak behaviors during testing and
+/// therefore "has the inherent incompleteness of testing" (§8). This
+/// module implements that baseline: repeated random executions of the
+/// operational semantics — random transaction scheduling, random
+/// consistent wr choices — with duplicate detection. The coverage bench
+/// measures how the sampled fraction of hist_I(P) grows with the number
+/// of walks, versus the explorer's exhaustive-and-optimal enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_RANDOMWALK_H
+#define TXDPOR_CORE_RANDOMWALK_H
+
+#include "consistency/ConsistencyChecker.h"
+#include "core/ExplorerConfig.h"
+#include "program/Program.h"
+
+namespace txdpor {
+
+/// Options for random-walk sampling.
+struct RandomWalkConfig {
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  uint64_t Seed = 1;
+  uint64_t NumWalks = 100;
+  Deadline TimeBudget;
+};
+
+/// Result of a sampling campaign.
+struct RandomWalkStats {
+  uint64_t Walks = 0;            ///< Completed executions.
+  uint64_t DistinctHistories = 0;
+  uint64_t EventsExecuted = 0;
+  bool TimedOut = false;
+  double ElapsedMillis = 0;
+};
+
+/// Runs \p Config.NumWalks random executions of \p Prog under the
+/// operational semantics of §2.3 (one pending transaction at a time, like
+/// the evaluation's DFS baseline). \p Visit receives each *new* distinct
+/// final history, in discovery order.
+RandomWalkStats randomWalkProgram(const Program &Prog,
+                                  const RandomWalkConfig &Config,
+                                  const HistoryVisitor &Visit = {});
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_RANDOMWALK_H

@@ -1,0 +1,120 @@
+//===- core/Swap.h - ComputeReorderings, Swap, Optimality (§5.2, §5.3) ----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event re-ordering machinery of the swapping-based algorithms:
+///
+///  * computeReorderings(h)  — pairs (r, t) of a read event r and the last
+///    (just committed) transaction t that are candidates for re-ordering
+///    (§5.2): t writes var(r), tr(r) precedes t in <, and tr(r) and t are
+///    causally unrelated.
+///  * applySwap(h, r)        — the Swap function: keep all events before
+///    r, keep t and its (so ∪ wr)* predecessors whole, drop everything
+///    else, re-point r's wr dependency to t, and move tr(r) (truncated at
+///    r) to the end of the order.
+///  * isSwappedRead(h, r)    — the swapped(h<, r) predicate of §5.3.
+///  * readsLatest(h, r', t)  — the readLatest_I(h<, r', t) predicate.
+///  * optimalityHolds(...)   — the full Optimality condition gating Swap.
+///
+/// All functions exploit the explorer invariants: each transaction's
+/// events are contiguous in <, so the order is the log order of History.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_SWAP_H
+#define TXDPOR_CORE_SWAP_H
+
+#include "consistency/ConsistencyChecker.h"
+#include "history/History.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace txdpor {
+
+/// A re-ordering candidate: the external read at position \c ReadPos of
+/// transaction \c ReaderTxn, to be re-ordered with the history's last
+/// transaction (which computeReorderings guarantees is complete).
+struct Reordering {
+  unsigned ReaderTxn;
+  uint32_t ReadPos;
+};
+
+/// The default oracle order over transaction identifiers (§5.1): the
+/// initial transaction first, then lexicographic (session, index). Fixed
+/// and consistent with session order.
+bool oracleLess(TxnUid A, TxnUid B);
+
+/// An oracle order (§5.1): an arbitrary-but-fixed total order on the
+/// program's transactions, consistent with session order. The scheduler
+/// Next and the swapped() predicate must agree on it, so the explorer
+/// threads one instance through both.
+class OracleOrder {
+public:
+  /// The default lexicographic order.
+  OracleOrder() = default;
+
+  /// Builds an order from an explicit sequence covering each transaction
+  /// exactly once; asserts consistency with session order (a session's
+  /// transactions must appear by ascending index).
+  static OracleOrder fromSequence(const std::vector<TxnUid> &Sequence);
+
+  /// Strict comparison; the initial transaction is least.
+  bool less(TxnUid A, TxnUid B) const {
+    if (Rank.empty())
+      return oracleLess(A, B);
+    if (A == B)
+      return false;
+    if (A.isInit())
+      return true;
+    if (B.isInit())
+      return false;
+    return Rank.at(A.packed()) < Rank.at(B.packed());
+  }
+
+private:
+  std::unordered_map<uint64_t, unsigned> Rank; ///< Empty = default order.
+};
+
+/// Candidates (r, t) of §5.2; non-empty only when the last event of \p H
+/// is a commit. t is implicitly H's last transaction.
+std::vector<Reordering> computeReorderings(const History &H);
+
+/// The Swap function of §5.2. Returns the re-ordered history; the caller
+/// rebuilds execution cursors by replay. \p R must come from
+/// computeReorderings(H).
+History applySwap(const History &H, const Reordering &R);
+
+/// The swapped(h<, r) predicate of §5.3: r reads from an oracle-order
+/// successor that < orders before it (condition 1), no transaction before
+/// r in both orders is a causal successor of the writer (condition 2), and
+/// r is the po-first read of its transaction reading from that writer
+/// (condition 3).
+bool isSwappedRead(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
+                   const OracleOrder &Order = OracleOrder());
+
+/// The readLatest_I(h<, r', t) predicate of §5.3: in the history truncated
+/// just before r' (keeping t and its causal predecessors whole), r''s
+/// current writer must be the <-latest transaction in the causal past of
+/// tr(r') from which r' could consistently read under \p Base.
+/// \p TargetTxn is the index of t in \p H.
+bool readsLatest(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
+                 unsigned TargetTxn, const ConsistencyChecker &Base);
+
+/// The Optimality(h<, r, t, locals) condition of §5.3. The ablation flags
+/// disable the two redundancy restrictions individually (soundness and
+/// completeness do not depend on them; optimality does).
+/// \p NumChecks, when provided, accumulates consistency-check counts.
+bool optimalityHolds(const History &H, const Reordering &R,
+                     const ConsistencyChecker &Base, bool CheckSwapped = true,
+                     bool CheckReadLatest = true,
+                     uint64_t *NumChecks = nullptr,
+                     const OracleOrder &Order = OracleOrder());
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_SWAP_H

@@ -1,0 +1,111 @@
+//===- history/Dot.cpp - Graphviz rendering of histories ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Dot.h"
+
+#include <sstream>
+
+using namespace txdpor;
+
+namespace {
+
+std::string varName(const DotOptions &Options, VarId V) {
+  if (Options.VarNames)
+    return (*Options.VarNames)(V);
+  return "x" + std::to_string(V);
+}
+
+std::string nodeId(const TxnUid &Uid, uint32_t Pos) {
+  return "\"" + Uid.str() + "/" + std::to_string(Pos) + "\"";
+}
+
+std::string eventLabel(const DotOptions &Options, const Event &E) {
+  switch (E.Kind) {
+  case EventKind::Begin:
+    return "begin";
+  case EventKind::Commit:
+    return "commit";
+  case EventKind::Abort:
+    return "abort";
+  case EventKind::Read:
+    return "read(" + varName(Options, E.Var) + ")";
+  case EventKind::Write:
+    return "write(" + varName(Options, E.Var) + "," +
+           std::to_string(E.Val) + ")";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string txdpor::renderDot(const History &H, const DotOptions &Options) {
+  std::ostringstream OS;
+  OS << "digraph history {\n"
+     << "  node [shape=plaintext, fontsize=11];\n"
+     << "  rankdir=TB;\n";
+
+  // One cluster per transaction, events chained by program order.
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    const TransactionLog &Log = H.txn(I);
+    OS << "  subgraph \"cluster_" << Log.uid().str() << "\" {\n"
+       << "    label=\"" << Log.uid().str() << "\";\n"
+       << "    style=rounded;\n";
+    for (uint32_t P = 0, PE = static_cast<uint32_t>(Log.size()); P != PE;
+         ++P)
+      OS << "    " << nodeId(Log.uid(), P) << " [label=\""
+         << eventLabel(Options, Log.event(P)) << "\"];\n";
+    for (uint32_t P = 1, PE = static_cast<uint32_t>(Log.size()); P != PE;
+         ++P)
+      OS << "    " << nodeId(Log.uid(), P - 1) << " -> "
+         << nodeId(Log.uid(), P) << " [style=invis];\n";
+    OS << "  }\n";
+  }
+
+  // Session-order edges between consecutive transactions of a session.
+  for (unsigned A = 0, E = H.numTxns(); A != E; ++A) {
+    if (Options.OmitInitEdges && H.txn(A).isInit())
+      continue;
+    for (unsigned B = 0; B != E; ++B) {
+      if (!H.soLess(A, B))
+        continue;
+      // Only the immediate so-successor (transitive edges clutter).
+      bool Immediate = true;
+      for (unsigned C = 0; C != E && Immediate; ++C)
+        if (C != A && C != B && H.soLess(A, C) && H.soLess(C, B))
+          Immediate = false;
+      if (!Immediate)
+        continue;
+      OS << "  " << nodeId(H.txn(A).uid(), 0) << " -> "
+         << nodeId(H.txn(B).uid(), 0)
+         << " [label=\"so\", lhead=\"cluster_" << H.txn(B).uid().str()
+         << "\"];\n";
+    }
+  }
+
+  // Write-read edges: from the writer's last write of the variable to the
+  // read event.
+  for (unsigned B = 0, E = H.numTxns(); B != E; ++B) {
+    const TransactionLog &Log = H.txn(B);
+    for (uint32_t P = 0, PE = static_cast<uint32_t>(Log.size()); P != PE;
+         ++P) {
+      std::optional<TxnUid> W = Log.writerOf(P);
+      if (!W)
+        continue;
+      const TransactionLog &Writer = H.txn(*H.indexOf(*W));
+      std::optional<uint32_t> WPos =
+          Writer.lastWriteBefore(Log.event(P).Var,
+                                 static_cast<uint32_t>(Writer.size()));
+      assert(WPos && "wr writer must write the variable");
+      OS << "  " << nodeId(*W, *WPos) << " -> " << nodeId(Log.uid(), P)
+         << " [label=\"wr(" << varName(Options, Log.event(P).Var)
+         << ")\", style=dashed, constraint=false];\n";
+    }
+  }
+
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,42 @@
+//===- history/Dot.h - Graphviz rendering of histories --------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders histories in the visual vocabulary of the paper's figures:
+/// boxes group the events of one transaction (program order top to
+/// bottom), solid edges are session order between transactions, labeled
+/// dashed edges are write-read dependencies. Useful for inspecting
+/// counterexample histories produced by assertion checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_HISTORY_DOT_H
+#define TXDPOR_HISTORY_DOT_H
+
+#include "history/History.h"
+
+#include <string>
+
+namespace txdpor {
+
+/// Options for renderDot.
+struct DotOptions {
+  /// Resolve variable names; defaults to x<N>.
+  const VarNameFn *VarNames = nullptr;
+  /// Suppress so-edges out of the initial transaction (the paper's
+  /// figures omit them "for legibility").
+  bool OmitInitEdges = true;
+  /// Include the block (<) order as invisible ranking constraints.
+  bool RankByBlockOrder = true;
+};
+
+/// Renders \p H as a Graphviz digraph.
+std::string renderDot(const History &H, const DotOptions &Options = {});
+
+} // namespace txdpor
+
+#endif // TXDPOR_HISTORY_DOT_H

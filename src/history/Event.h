@@ -1,0 +1,121 @@
+//===- history/Event.h - Events, transaction identifiers ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events are the atoms of histories (paper §2.2.1): begin, commit, abort,
+/// read(x) and write(x, v). A read event carries no value; its return value
+/// is defined by the write-read relation of the enclosing history.
+///
+/// Transactions are identified by a TxnUid = (session, index-in-session).
+/// Because the explorer derives new histories from old ones by deleting and
+/// re-ordering events (Swap, §5.2), identifiers must be stable across
+/// histories; (session, index) is stable because the program structure is
+/// fixed. The distinguished transaction writing initial values (paper
+/// Def. 2.1) has the reserved session id TxnUid::InitSession.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_HISTORY_EVENT_H
+#define TXDPOR_HISTORY_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace txdpor {
+
+/// Index of a global (database) variable, interned by the Program.
+using VarId = uint32_t;
+
+/// Resolves a VarId to a printable name (provided by the Program).
+using VarNameFn = std::function<std::string(VarId)>;
+
+/// Database values. The language's expressions evaluate to these.
+using Value = int64_t;
+
+/// The five event types of §2.2.1.
+enum class EventKind : uint8_t { Begin, Read, Write, Commit, Abort };
+
+/// Returns a short printable name ("begin", "read", ...).
+const char *eventKindName(EventKind Kind);
+
+/// One event of a transaction log. \c Var is meaningful for reads and
+/// writes; \c Val only for writes (read values live in the write-read
+/// relation).
+struct Event {
+  EventKind Kind;
+  VarId Var = 0;
+  Value Val = 0;
+
+  static Event makeBegin() { return {EventKind::Begin, 0, 0}; }
+  static Event makeRead(VarId Var) { return {EventKind::Read, Var, 0}; }
+  static Event makeWrite(VarId Var, Value Val) {
+    return {EventKind::Write, Var, Val};
+  }
+  static Event makeCommit() { return {EventKind::Commit, 0, 0}; }
+  static Event makeAbort() { return {EventKind::Abort, 0, 0}; }
+
+  bool isRead() const { return Kind == EventKind::Read; }
+  bool isWrite() const { return Kind == EventKind::Write; }
+
+  bool operator==(const Event &O) const {
+    return Kind == O.Kind && Var == O.Var && Val == O.Val;
+  }
+  bool operator!=(const Event &O) const { return !(*this == O); }
+};
+
+/// Stable transaction identifier: position in the program text.
+struct TxnUid {
+  /// Session id reserved for the initial transaction.
+  static constexpr uint32_t InitSession = 0xffffffffu;
+
+  uint32_t Session = 0;
+  uint32_t Index = 0;
+
+  static TxnUid init() { return {InitSession, 0}; }
+  bool isInit() const { return Session == InitSession; }
+
+  uint64_t packed() const {
+    return (static_cast<uint64_t>(Session) << 32) | Index;
+  }
+
+  bool operator==(const TxnUid &O) const {
+    return Session == O.Session && Index == O.Index;
+  }
+  bool operator!=(const TxnUid &O) const { return !(*this == O); }
+  bool operator<(const TxnUid &O) const { return packed() < O.packed(); }
+
+  std::string str() const;
+};
+
+/// A reference to one event of one transaction, stable across histories.
+struct EventRef {
+  TxnUid Txn;
+  uint32_t Pos = 0;
+
+  bool operator==(const EventRef &O) const {
+    return Txn == O.Txn && Pos == O.Pos;
+  }
+  bool operator!=(const EventRef &O) const { return !(*this == O); }
+};
+
+} // namespace txdpor
+
+namespace std {
+template <> struct hash<txdpor::TxnUid> {
+  size_t operator()(const txdpor::TxnUid &U) const {
+    return std::hash<uint64_t>()(U.packed());
+  }
+};
+template <> struct hash<txdpor::EventRef> {
+  size_t operator()(const txdpor::EventRef &R) const {
+    return std::hash<uint64_t>()(R.Txn.packed() * 1000003u + R.Pos);
+  }
+};
+} // namespace std
+
+#endif // TXDPOR_HISTORY_EVENT_H

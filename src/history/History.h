@@ -1,0 +1,159 @@
+//===- history/History.h - Histories and ordered histories ----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A history (paper Def. 2.1) is a set of transaction logs with a session
+/// order so and a write-read relation wr. This class also plays the role of
+/// the paper's *ordered* history (h, <): the explorer maintains the
+/// invariant that transactions execute one at a time, so the total order <
+/// over events always keeps each transaction's events contiguous. We
+/// therefore represent < by the order of the log vector itself (the "block
+/// order") plus program order inside each log.
+///
+/// Identity for the read-from equivalence (§1, "Execution Equivalence")
+/// deliberately ignores the block order: two histories are equal when they
+/// have the same logs (same uids, events and po) and the same so and wr
+/// relations. so is implied by the uids ((session, index) pairs), so
+/// structural equality of the log sets is exactly history equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_HISTORY_HISTORY_H
+#define TXDPOR_HISTORY_HISTORY_H
+
+#include "history/TransactionLog.h"
+#include "support/Relation.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace txdpor {
+
+/// A history of database accesses, with its event order represented as a
+/// sequence of transaction blocks.
+class History {
+public:
+  History() = default;
+
+  /// Creates a history containing only the distinguished initial
+  /// transaction, which writes value 0 to the \p NumVars variables and
+  /// commits (paper Def. 2.1: it precedes all other transactions in so).
+  static History makeInitial(unsigned NumVars);
+
+  //===--------------------------------------------------------------------===
+  // Transaction access
+  //===--------------------------------------------------------------------===
+
+  unsigned numTxns() const { return static_cast<unsigned>(Logs.size()); }
+  const TransactionLog &txn(unsigned Idx) const {
+    assert(Idx < Logs.size() && "transaction index out of range");
+    return Logs[Idx];
+  }
+  /// Index of the transaction with identifier \p Uid, if present.
+  std::optional<unsigned> indexOf(TxnUid Uid) const;
+  bool contains(TxnUid Uid) const { return indexOf(Uid).has_value(); }
+
+  /// Index of the unique pending transaction, if any. Asserts that at most
+  /// one transaction is pending (the explorer invariant, §5).
+  std::optional<unsigned> pendingTxn() const;
+
+  /// Total number of events across all logs.
+  size_t numEvents() const;
+
+  //===--------------------------------------------------------------------===
+  // Mutation (used by the operational semantics and the explorer)
+  //===--------------------------------------------------------------------===
+
+  /// Starts a new transaction log containing a single begin event and
+  /// appends it to the block order. Returns its index.
+  unsigned beginTxn(TxnUid Uid);
+
+  /// Appends \p E to the log at \p Idx. For the explorer this is only legal
+  /// on the last block (keeps < consistent); the semantics enforces that.
+  void appendEvent(unsigned Idx, const Event &E);
+
+  /// Sets the wr dependency of the read at (\p Idx, \p Pos) to the
+  /// transaction \p Writer, which must exist, be distinct from the reader,
+  /// and visibly write the read's variable.
+  void setWriter(unsigned Idx, uint32_t Pos, TxnUid Writer);
+
+  /// Appends an already-built log as the last block. Used when
+  /// reconstructing histories in Swap. Returns its index.
+  unsigned appendLog(TransactionLog Log);
+
+  //===--------------------------------------------------------------------===
+  // Relations (over transaction indices in the current block order)
+  //===--------------------------------------------------------------------===
+
+  /// True if (A, B) is in the session order: A is the initial transaction,
+  /// or both are in the same session with A's index smaller.
+  bool soLess(unsigned A, unsigned B) const;
+
+  /// The session order as a relation over transaction indices.
+  Relation soRelation() const;
+
+  /// The transaction-level write-read relation.
+  Relation wrRelation() const;
+
+  /// (so ∪ wr) as a relation.
+  Relation soWrRelation() const;
+
+  /// The causal relation (so ∪ wr)+ (irreflexive transitive closure).
+  Relation causalRelation() const;
+
+  //===--------------------------------------------------------------------===
+  // Value resolution
+  //===--------------------------------------------------------------------===
+
+  /// The value returned by the read at (\p Idx, \p Pos): the last po-write
+  /// to the same variable before it if one exists (read-local), otherwise
+  /// the last write of its wr writer. The read must have a writer assigned
+  /// in the external case.
+  Value readValue(unsigned Idx, uint32_t Pos) const;
+
+  /// Indices of committed transactions that visibly write \p Var, in block
+  /// order (the initial transaction qualifies).
+  std::vector<unsigned> committedWriters(VarId Var) const;
+
+  //===--------------------------------------------------------------------===
+  // Identity, debugging
+  //===--------------------------------------------------------------------===
+
+  /// Read-from equivalence: same set of logs (block order ignored).
+  bool sameHistory(const History &Other) const;
+
+  /// Order-insensitive hash, compatible with sameHistory.
+  uint64_t hashIgnoringOrder() const;
+
+  /// A canonical one-line key (logs sorted by uid), usable as a map key in
+  /// tests that collect distinct histories.
+  std::string canonicalKey() const;
+
+  /// Multi-line human-readable rendering in block order.
+  std::string str(const VarNameFn *VarNames = nullptr) const;
+
+  /// Asserts structural invariants: init first; begin/commit/abort
+  /// placement; every assigned wr writer exists, differs from the reader
+  /// and writes the variable; so ∪ wr acyclic. No-op in release builds.
+  void checkWellFormed() const;
+
+  /// Asserts in addition the ordered-history invariants of the explorer:
+  /// block order extends so ∪ wr (readers after writers, sessions in
+  /// order; paper footnote 7) and at most the last block is pending.
+  void checkOrderConsistent() const;
+
+private:
+  std::vector<TransactionLog> Logs; ///< In block (<) order; [0] is init.
+  std::unordered_map<uint64_t, unsigned> IndexByUid;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_HISTORY_HISTORY_H

@@ -1,0 +1,112 @@
+//===- history/Prefix.cpp - History prefixes (paper §3.1) -----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Prefix.h"
+
+using namespace txdpor;
+
+// The event-level relations so and wr extend to events through their
+// transactions (§2.2.1): any retained event of B demands *all* events of
+// every so-predecessor of B, and a retained external read demands all
+// events up to and including the last write of its writer — since wr
+// targets the writer's last write to the variable, we simply demand the
+// writer be kept whole (its last write to the variable is its last event
+// touching it, and po-closure inside the writer then keeps the rest; for
+// simplicity and strictness we require the full log, which matches how the
+// paper's figures treat wr-predecessors, e.g. Fig. 4c).
+//
+// Keeping the full writer log is sound: the writer's last write to the
+// variable determines the read value, and any po-suffix of the writer
+// beyond that write is forced anyway whenever the writer also serves reads
+// of its other variables. It is also exactly what Swap produces (§5.2: the
+// transaction t and all its (so ∪ wr)* predecessors are kept whole).
+
+bool txdpor::isDownwardClosed(const History &H, const PrefixCut &Cut) {
+  assert(Cut.size() == H.numTxns() && "cut arity must match history");
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    const TransactionLog &Log = H.txn(I);
+    assert(Cut[I] <= Log.size() && "cut beyond log length");
+    if (Cut[I] == 0)
+      continue;
+    // so-closure: all so-predecessors fully kept.
+    for (unsigned J = 0; J != E; ++J)
+      if (H.soLess(J, I) && Cut[J] != H.txn(J).size())
+        return false;
+    // wr-closure: writers of retained external reads fully kept.
+    for (uint32_t P = 0; P != Cut[I]; ++P) {
+      std::optional<TxnUid> W = Log.writerOf(P);
+      if (!W)
+        continue;
+      std::optional<unsigned> WIdx = H.indexOf(*W);
+      assert(WIdx && "wr writer missing from history");
+      if (Cut[*WIdx] != H.txn(*WIdx).size())
+        return false;
+    }
+  }
+  return true;
+}
+
+void txdpor::closeDownward(const History &H, PrefixCut &Cut) {
+  assert(Cut.size() == H.numTxns() && "cut arity must match history");
+  // Shrink until fixpoint: a log that is required whole but is truncated
+  // gets truncated to zero together with everything depending on it.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+      if (Cut[I] == 0)
+        continue;
+      const TransactionLog &Log = H.txn(I);
+      bool Drop = false;
+      for (unsigned J = 0, JE = H.numTxns(); J != JE && !Drop; ++J)
+        if (H.soLess(J, I) && Cut[J] != H.txn(J).size())
+          Drop = true;
+      for (uint32_t P = 0; P != Cut[I] && !Drop; ++P) {
+        std::optional<TxnUid> W = Log.writerOf(P);
+        if (!W)
+          continue;
+        std::optional<unsigned> WIdx = H.indexOf(*W);
+        if (Cut[*WIdx] != H.txn(*WIdx).size())
+          Drop = true;
+      }
+      if (Drop) {
+        Cut[I] = 0;
+        Changed = true;
+      }
+    }
+  }
+  assert(isDownwardClosed(H, Cut) && "closeDownward failed to converge");
+}
+
+History txdpor::takePrefix(const History &H, const PrefixCut &Cut) {
+  assert(isDownwardClosed(H, Cut) && "prefix cut must be downward closed");
+  History Result;
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    if (Cut[I] == 0)
+      continue;
+    Result.appendLog(H.txn(I).truncated(Cut[I]));
+  }
+  return Result;
+}
+
+bool txdpor::isPrefixOf(const History &P, const History &H) {
+  PrefixCut Cut(H.numTxns(), 0);
+  for (unsigned I = 0, E = P.numTxns(); I != E; ++I) {
+    const TransactionLog &PLog = P.txn(I);
+    std::optional<unsigned> HIdx = H.indexOf(PLog.uid());
+    if (!HIdx)
+      return false;
+    const TransactionLog &HLog = H.txn(*HIdx);
+    if (PLog.size() > HLog.size())
+      return false;
+    // The kept events (and their wr dependencies) must coincide.
+    if (!(PLog == HLog.truncated(static_cast<uint32_t>(PLog.size()))))
+      return false;
+    Cut[*HIdx] = static_cast<uint32_t>(PLog.size());
+  }
+  return isDownwardClosed(H, Cut);
+}

@@ -1,0 +1,48 @@
+//===- history/Prefix.h - History prefixes (paper §3.1) -------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A prefix of a history keeps a po-prefix of each transaction log such
+/// that the retained event set is (po ∪ so ∪ wr)*-downward closed
+/// (paper §3.1, Fig. 4). Prefixes drive the definition of prefix-closed
+/// isolation levels (Def. 3.1), which the tests verify for all five levels
+/// (Theorem 3.2), and they are the shape of every history produced by Swap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_HISTORY_PREFIX_H
+#define TXDPOR_HISTORY_PREFIX_H
+
+#include "history/History.h"
+
+#include <vector>
+
+namespace txdpor {
+
+/// A cut: how many leading events of each transaction log to keep,
+/// indexed like the history's transactions.
+using PrefixCut = std::vector<uint32_t>;
+
+/// Returns true if keeping \p Cut events of each log yields a
+/// (po ∪ so ∪ wr)*-downward-closed event set of \p H.
+bool isDownwardClosed(const History &H, const PrefixCut &Cut);
+
+/// Shrinks \p Cut in place to the largest downward-closed cut below it
+/// (a monotone fixpoint; always terminates).
+void closeDownward(const History &H, PrefixCut &Cut);
+
+/// Builds the prefix history selected by \p Cut, which must be downward
+/// closed. Logs cut to zero events are dropped entirely; block order is
+/// preserved.
+History takePrefix(const History &H, const PrefixCut &Cut);
+
+/// Returns true if \p P is a prefix of \p H in the sense of §3.1.
+bool isPrefixOf(const History &P, const History &H);
+
+} // namespace txdpor
+
+#endif // TXDPOR_HISTORY_PREFIX_H

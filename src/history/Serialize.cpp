@@ -1,0 +1,198 @@
+//===- history/Serialize.cpp - Textual history round-tripping -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Serialize.h"
+
+#include <sstream>
+
+using namespace txdpor;
+
+std::string txdpor::writeHistory(const History &H) {
+  std::ostringstream OS;
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    const TransactionLog &Log = H.txn(I);
+    OS << "txn " << Log.uid().str();
+    for (uint32_t P = 0, PE = static_cast<uint32_t>(Log.size()); P != PE;
+         ++P) {
+      const Event &Ev = Log.event(P);
+      switch (Ev.Kind) {
+      case EventKind::Begin:
+        OS << " begin";
+        break;
+      case EventKind::Commit:
+        OS << " commit";
+        break;
+      case EventKind::Abort:
+        OS << " abort";
+        break;
+      case EventKind::Write:
+        OS << " write x" << Ev.Var << " = " << Ev.Val;
+        break;
+      case EventKind::Read:
+        OS << " read x" << Ev.Var << " <- ";
+        if (std::optional<TxnUid> W = Log.writerOf(P))
+          OS << W->str();
+        else
+          OS << "_";
+        break;
+      }
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+/// Parses "init" or "t<session>.<index>" / "<session>.<index>".
+bool parseUid(const std::string &Token, TxnUid &Out, std::string *Error) {
+  if (Token == "init") {
+    Out = TxnUid::init();
+    return true;
+  }
+  std::string Body = Token;
+  if (!Body.empty() && Body[0] == 't')
+    Body = Body.substr(1);
+  size_t Dot = Body.find('.');
+  if (Dot == std::string::npos || Dot == 0 || Dot + 1 == Body.size())
+    return fail(Error, "bad transaction uid '" + Token + "'");
+  try {
+    Out.Session = static_cast<uint32_t>(std::stoul(Body.substr(0, Dot)));
+    Out.Index = static_cast<uint32_t>(std::stoul(Body.substr(Dot + 1)));
+  } catch (...) {
+    return fail(Error, "bad transaction uid '" + Token + "'");
+  }
+  return true;
+}
+
+bool parseVar(const std::string &Token, VarId &Out, std::string *Error) {
+  if (Token.size() < 2 || Token[0] != 'x')
+    return fail(Error, "bad variable '" + Token + "'");
+  try {
+    Out = static_cast<VarId>(std::stoul(Token.substr(1)));
+  } catch (...) {
+    return fail(Error, "bad variable '" + Token + "'");
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<History> txdpor::parseHistory(const std::string &Text,
+                                            std::string *Error) {
+  History Result;
+  std::istringstream Lines(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  // Deferred wr assignments: the writer may serialize after... no — block
+  // order puts writers first (footnote 7) for explorer output, but the
+  // format does not require it; defer all wr hookups to the end.
+  struct PendingWr {
+    TxnUid Reader;
+    uint32_t Pos;
+    TxnUid Writer;
+  };
+  std::vector<PendingWr> PendingWrs;
+
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    std::istringstream Tokens(Line);
+    std::string Token;
+    if (!(Tokens >> Token))
+      continue; // Blank line.
+    std::string Where = " at line " + std::to_string(LineNo);
+    if (Token != "txn") {
+      fail(Error, "expected 'txn'" + Where);
+      return std::nullopt;
+    }
+    if (!(Tokens >> Token)) {
+      fail(Error, "missing transaction uid" + Where);
+      return std::nullopt;
+    }
+    TxnUid Uid;
+    if (!parseUid(Token, Uid, Error))
+      return std::nullopt;
+    if (Result.contains(Uid)) {
+      fail(Error, "duplicate transaction " + Uid.str() + Where);
+      return std::nullopt;
+    }
+    TransactionLog Log(Uid);
+    while (Tokens >> Token) {
+      if (Token == "begin") {
+        Log.append(Event::makeBegin());
+      } else if (Token == "commit") {
+        Log.append(Event::makeCommit());
+      } else if (Token == "abort") {
+        Log.append(Event::makeAbort());
+      } else if (Token == "write") {
+        std::string VarTok, Eq;
+        Value Val;
+        if (!(Tokens >> VarTok >> Eq >> Val) || Eq != "=") {
+          fail(Error, "malformed write" + Where);
+          return std::nullopt;
+        }
+        VarId Var;
+        if (!parseVar(VarTok, Var, Error))
+          return std::nullopt;
+        Log.append(Event::makeWrite(Var, Val));
+      } else if (Token == "read") {
+        std::string VarTok, Arrow, WriterTok;
+        if (!(Tokens >> VarTok >> Arrow >> WriterTok) || Arrow != "<-") {
+          fail(Error, "malformed read" + Where);
+          return std::nullopt;
+        }
+        VarId Var;
+        if (!parseVar(VarTok, Var, Error))
+          return std::nullopt;
+        Log.append(Event::makeRead(Var));
+        if (WriterTok != "_") {
+          TxnUid Writer;
+          if (!parseUid(WriterTok, Writer, Error))
+            return std::nullopt;
+          PendingWrs.push_back(
+              {Uid, static_cast<uint32_t>(Log.size()) - 1, Writer});
+        }
+      } else {
+        fail(Error, "unknown event '" + Token + "'" + Where);
+        return std::nullopt;
+      }
+    }
+    if (Log.events().empty()) {
+      fail(Error, "transaction without events" + Where);
+      return std::nullopt;
+    }
+    Result.appendLog(std::move(Log));
+  }
+
+  if (Result.numTxns() == 0 || !Result.txn(0).isInit()) {
+    fail(Error, "history must start with the init transaction");
+    return std::nullopt;
+  }
+  for (const PendingWr &Wr : PendingWrs) {
+    std::optional<unsigned> Reader = Result.indexOf(Wr.Reader);
+    assert(Reader && "reader was appended above");
+    if (!Result.contains(Wr.Writer)) {
+      fail(Error, "read from unknown transaction " + Wr.Writer.str());
+      return std::nullopt;
+    }
+    if (Wr.Writer == Wr.Reader ||
+        !Result.txn(*Result.indexOf(Wr.Writer))
+             .writesVar(Result.txn(*Reader).event(Wr.Pos).Var)) {
+      fail(Error, "invalid wr dependency on " + Wr.Writer.str());
+      return std::nullopt;
+    }
+    Result.setWriter(*Reader, Wr.Pos, Wr.Writer);
+  }
+  Result.checkWellFormed();
+  return Result;
+}

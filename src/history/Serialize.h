@@ -1,0 +1,42 @@
+//===- history/Serialize.h - Textual history round-tripping ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented textual format for histories so explorations can be
+/// archived, diffed and re-checked offline (e.g. piping txdpor-cli output
+/// into a consistency audit). One transaction per line, in block order:
+///
+///   txn 0.1 begin read x <- init write y = 3 commit
+///
+/// Writers are named by transaction uid ("init" or "<session>.<index>");
+/// variables by id ("x<N>"). The format round-trips exactly:
+/// parseHistory(writeHistory(h)) is equal to h including block order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_HISTORY_SERIALIZE_H
+#define TXDPOR_HISTORY_SERIALIZE_H
+
+#include "history/History.h"
+
+#include <optional>
+#include <string>
+
+namespace txdpor {
+
+/// Serializes \p H (all transactions, block order) to the textual format.
+std::string writeHistory(const History &H);
+
+/// Parses the format produced by writeHistory. Returns nullopt (with a
+/// diagnostic in \p Error if provided) on malformed input. The result is
+/// checked for well-formedness (Def. 2.1).
+std::optional<History> parseHistory(const std::string &Text,
+                                    std::string *Error = nullptr);
+
+} // namespace txdpor
+
+#endif // TXDPOR_HISTORY_SERIALIZE_H

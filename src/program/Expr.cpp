@@ -1,0 +1,209 @@
+//===- program/Expr.cpp - Expressions over local variables ----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace txdpor;
+
+Expr::NodeRef Expr::makeConst(Value V) {
+  auto Node = std::shared_ptr<Expr>(new Expr(ExprKind::Const));
+  Node->ConstVal = V;
+  return Node;
+}
+
+Expr::NodeRef Expr::makeLocal(LocalId L) {
+  auto Node = std::shared_ptr<Expr>(new Expr(ExprKind::Local));
+  Node->Local = L;
+  return Node;
+}
+
+Expr::NodeRef Expr::makeUnary(UnaryOp Op, NodeRef Operand) {
+  assert(Operand && "unary operand must be non-null");
+  auto Node = std::shared_ptr<Expr>(new Expr(ExprKind::Unary));
+  Node->UOp = Op;
+  Node->Lhs = std::move(Operand);
+  return Node;
+}
+
+Expr::NodeRef Expr::makeBinary(BinaryOp Op, NodeRef Lhs, NodeRef Rhs) {
+  assert(Lhs && Rhs && "binary operands must be non-null");
+  auto Node = std::shared_ptr<Expr>(new Expr(ExprKind::Binary));
+  Node->BOp = Op;
+  Node->Lhs = std::move(Lhs);
+  Node->Rhs = std::move(Rhs);
+  return Node;
+}
+
+Value Expr::evaluate(const std::vector<Value> &Locals) const {
+  switch (Kind) {
+  case ExprKind::Const:
+    return ConstVal;
+  case ExprKind::Local:
+    assert(Local < Locals.size() && "local variable out of range");
+    return Locals[Local];
+  case ExprKind::Unary: {
+    Value V = Lhs->evaluate(Locals);
+    switch (UOp) {
+    case UnaryOp::Not:
+      return V == 0 ? 1 : 0;
+    case UnaryOp::Neg:
+      return -V;
+    }
+    return 0;
+  }
+  case ExprKind::Binary: {
+    Value A = Lhs->evaluate(Locals);
+    Value B = Rhs->evaluate(Locals);
+    switch (BOp) {
+    case BinaryOp::Add:
+      return A + B;
+    case BinaryOp::Sub:
+      return A - B;
+    case BinaryOp::Mul:
+      return A * B;
+    case BinaryOp::Eq:
+      return A == B;
+    case BinaryOp::Ne:
+      return A != B;
+    case BinaryOp::Lt:
+      return A < B;
+    case BinaryOp::Le:
+      return A <= B;
+    case BinaryOp::Gt:
+      return A > B;
+    case BinaryOp::Ge:
+      return A >= B;
+    case BinaryOp::And:
+      return (A != 0 && B != 0) ? 1 : 0;
+    case BinaryOp::Or:
+      return (A != 0 || B != 0) ? 1 : 0;
+    case BinaryOp::BitAnd:
+      return A & B;
+    case BinaryOp::BitOr:
+      return A | B;
+    }
+    return 0;
+  }
+  }
+  return 0;
+}
+
+int64_t Expr::maxLocal() const {
+  switch (Kind) {
+  case ExprKind::Const:
+    return -1;
+  case ExprKind::Local:
+    return Local;
+  case ExprKind::Unary:
+    return Lhs->maxLocal();
+  case ExprKind::Binary:
+    return std::max(Lhs->maxLocal(), Rhs->maxLocal());
+  }
+  return -1;
+}
+
+static const char *binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  }
+  return "?";
+}
+
+std::string Expr::str(const LocalNameFn *Names) const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ExprKind::Const:
+    OS << ConstVal;
+    break;
+  case ExprKind::Local:
+    OS << (Names ? (*Names)(Local) : ("l" + std::to_string(Local)));
+    break;
+  case ExprKind::Unary:
+    OS << (UOp == UnaryOp::Not ? "!" : "-") << "(" << Lhs->str(Names) << ")";
+    break;
+  case ExprKind::Binary:
+    OS << "(" << Lhs->str(Names) << " " << binaryOpName(BOp) << " "
+       << Rhs->str(Names) << ")";
+    break;
+  }
+  return OS.str();
+}
+
+namespace txdpor {
+
+ExprRef operator+(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Add, A.Node, B.Node);
+}
+ExprRef operator-(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Sub, A.Node, B.Node);
+}
+ExprRef operator*(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Mul, A.Node, B.Node);
+}
+ExprRef operator-(ExprRef A) { return Expr::makeUnary(UnaryOp::Neg, A.Node); }
+
+ExprRef eq(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Eq, A.Node, B.Node);
+}
+ExprRef ne(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Ne, A.Node, B.Node);
+}
+ExprRef lt(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Lt, A.Node, B.Node);
+}
+ExprRef le(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Le, A.Node, B.Node);
+}
+ExprRef gt(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Gt, A.Node, B.Node);
+}
+ExprRef ge(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Ge, A.Node, B.Node);
+}
+ExprRef land(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::And, A.Node, B.Node);
+}
+ExprRef lor(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::Or, A.Node, B.Node);
+}
+ExprRef lnot(ExprRef A) { return Expr::makeUnary(UnaryOp::Not, A.Node); }
+ExprRef bitAnd(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::BitAnd, A.Node, B.Node);
+}
+ExprRef bitOr(ExprRef A, ExprRef B) {
+  return Expr::makeBinary(BinaryOp::BitOr, A.Node, B.Node);
+}
+
+} // namespace txdpor

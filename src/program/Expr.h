@@ -1,0 +1,126 @@
+//===- program/Expr.h - Expressions over local variables ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expressions e over local variables (paper Fig. 1). The paper leaves
+/// their syntax unspecified; we provide integer constants, local-variable
+/// references, and the arithmetic / comparison / boolean / bitwise
+/// operators the benchmark applications need (bitwise ops encode the "set"
+/// variables used to model SQL tables, §7.2). Expressions are immutable
+/// trees shared via reference-counted handles; the ExprRef wrapper carries
+/// operator overloads so program bodies read naturally, e.g.
+/// `T.local("a") + 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_PROGRAM_EXPR_H
+#define TXDPOR_PROGRAM_EXPR_H
+
+#include "history/Event.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace txdpor {
+
+/// Index of a local variable, interned per transaction.
+using LocalId = uint32_t;
+
+enum class ExprKind : uint8_t { Const, Local, Unary, Binary };
+enum class UnaryOp : uint8_t { Not, Neg };
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  BitAnd,
+  BitOr,
+};
+
+/// Resolves a LocalId to a printable name.
+using LocalNameFn = std::function<std::string(LocalId)>;
+
+/// An immutable expression tree node.
+class Expr {
+public:
+  using NodeRef = std::shared_ptr<const Expr>;
+
+  static NodeRef makeConst(Value V);
+  static NodeRef makeLocal(LocalId L);
+  static NodeRef makeUnary(UnaryOp Op, NodeRef Operand);
+  static NodeRef makeBinary(BinaryOp Op, NodeRef Lhs, NodeRef Rhs);
+
+  ExprKind kind() const { return Kind; }
+
+  /// Evaluates against a local-variable valuation. Booleans are 0/1.
+  Value evaluate(const std::vector<Value> &Locals) const;
+
+  /// The largest LocalId referenced, or -1 if none (used for validation).
+  int64_t maxLocal() const;
+
+  std::string str(const LocalNameFn *Names = nullptr) const;
+
+private:
+  Expr(ExprKind Kind) : Kind(Kind) {}
+
+  ExprKind Kind;
+  Value ConstVal = 0;
+  LocalId Local = 0;
+  UnaryOp UOp = UnaryOp::Not;
+  BinaryOp BOp = BinaryOp::Add;
+  NodeRef Lhs, Rhs;
+};
+
+/// Value-semantics handle for expressions with operator overloads.
+/// Implicitly constructible from integer literals.
+struct ExprRef {
+  Expr::NodeRef Node;
+
+  ExprRef() = default;
+  ExprRef(Expr::NodeRef Node) : Node(std::move(Node)) {}
+  ExprRef(Value V) : Node(Expr::makeConst(V)) {}
+  ExprRef(int V) : Node(Expr::makeConst(V)) {}
+
+  bool valid() const { return Node != nullptr; }
+  Value evaluate(const std::vector<Value> &Locals) const {
+    assert(Node && "evaluating an empty expression");
+    return Node->evaluate(Locals);
+  }
+};
+
+ExprRef operator+(ExprRef A, ExprRef B);
+ExprRef operator-(ExprRef A, ExprRef B);
+ExprRef operator*(ExprRef A, ExprRef B);
+ExprRef operator-(ExprRef A);
+
+/// Comparisons and boolean connectives are named functions: overloading
+/// == / && on shared-pointer wrappers invites accidental pointer
+/// comparisons and loses short-circuit expectations.
+ExprRef eq(ExprRef A, ExprRef B);
+ExprRef ne(ExprRef A, ExprRef B);
+ExprRef lt(ExprRef A, ExprRef B);
+ExprRef le(ExprRef A, ExprRef B);
+ExprRef gt(ExprRef A, ExprRef B);
+ExprRef ge(ExprRef A, ExprRef B);
+ExprRef land(ExprRef A, ExprRef B);
+ExprRef lor(ExprRef A, ExprRef B);
+ExprRef lnot(ExprRef A);
+ExprRef bitAnd(ExprRef A, ExprRef B);
+ExprRef bitOr(ExprRef A, ExprRef B);
+
+} // namespace txdpor
+
+#endif // TXDPOR_PROGRAM_EXPR_H

@@ -1,0 +1,128 @@
+//===- program/Program.cpp - Transactional programs -----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+
+#include <sstream>
+
+using namespace txdpor;
+
+std::optional<LocalId> Transaction::findLocal(const std::string &N) const {
+  auto It = LocalIds.find(N);
+  if (It == LocalIds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+LocalId Transaction::internLocal(const std::string &N) {
+  auto It = LocalIds.find(N);
+  if (It != LocalIds.end())
+    return It->second;
+  LocalId Id = static_cast<LocalId>(LocalNames.size());
+  LocalNames.push_back(N);
+  LocalIds.emplace(N, Id);
+  return Id;
+}
+
+unsigned Program::totalTxns() const {
+  unsigned N = 0;
+  for (const auto &Session : Sessions)
+    N += static_cast<unsigned>(Session.size());
+  return N;
+}
+
+std::optional<VarId> Program::findVar(const std::string &Name) const {
+  auto It = VarIds.find(Name);
+  if (It == VarIds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<TxnUid> Program::oracleOrder() const {
+  std::vector<TxnUid> Order;
+  for (uint32_t S = 0; S != Sessions.size(); ++S)
+    for (uint32_t I = 0; I != Sessions[S].size(); ++I)
+      Order.push_back({S, I});
+  return Order;
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (uint32_t S = 0; S != Sessions.size(); ++S) {
+    OS << "session " << S << ":\n";
+    for (uint32_t T = 0; T != Sessions[S].size(); ++T) {
+      const Transaction &Txn = Sessions[S][T];
+      OS << "  begin";
+      if (!Txn.name().empty())
+        OS << "  // " << Txn.name();
+      OS << '\n';
+      LocalNameFn Locals = [&Txn](LocalId L) { return Txn.localName(L); };
+      for (const Instr &I : Txn.body()) {
+        OS << "    ";
+        if (I.Guard.valid())
+          OS << "if (" << I.Guard.Node->str(&Locals) << ") ";
+        switch (I.Kind) {
+        case InstrKind::Assign:
+          OS << Txn.localName(I.Target) << " := "
+             << I.Rhs.Node->str(&Locals);
+          break;
+        case InstrKind::Read:
+          OS << Txn.localName(I.Target) << " := read(" << varName(I.Var)
+             << ")";
+          break;
+        case InstrKind::Write:
+          OS << "write(" << varName(I.Var) << ", " << I.Rhs.Node->str(&Locals)
+             << ")";
+          break;
+        case InstrKind::Abort:
+          OS << "abort";
+          break;
+        }
+        OS << '\n';
+      }
+      OS << "  commit\n";
+    }
+  }
+  return OS.str();
+}
+
+VarId ProgramBuilder::var(const std::string &Name) {
+  auto It = VarIds.find(Name);
+  if (It != VarIds.end())
+    return It->second;
+  VarId Id = static_cast<VarId>(VarNames.size());
+  VarNames.push_back(Name);
+  VarIds.emplace(Name, Id);
+  return Id;
+}
+
+ProgramBuilder::TxnHandle ProgramBuilder::beginTxn(unsigned Session,
+                                                   const std::string &Name) {
+  if (Session >= Sessions.size())
+    Sessions.resize(Session + 1);
+  std::string TxnName = Name.empty()
+                            ? ("t" + std::to_string(Session) + "." +
+                               std::to_string(Sessions[Session].size()))
+                            : Name;
+  Sessions[Session].emplace_back(std::move(TxnName));
+  return TxnHandle(&Sessions[Session].back());
+}
+
+Program ProgramBuilder::build() {
+  Program Result;
+  Result.VarNames = std::move(VarNames);
+  Result.VarIds = std::move(VarIds);
+  Result.Sessions.reserve(Sessions.size());
+  for (auto &Session : Sessions)
+    Result.Sessions.emplace_back(
+        std::make_move_iterator(Session.begin()),
+        std::make_move_iterator(Session.end()));
+  Sessions.clear();
+  VarNames.clear();
+  VarIds.clear();
+  return Result;
+}

@@ -1,0 +1,205 @@
+//===- program/Program.h - Transactional programs (paper Fig. 1) ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded transactional language of Fig. 1: a program is a parallel
+/// composition of sessions; a session is a sequence of transactions; a
+/// transaction body is a sequence of instructions, each optionally guarded
+/// by a boolean condition over local variables:
+///
+///   Instr ::= a := e | a := read(x) | write(x, e) | abort
+///
+/// Local variables are transaction-scoped (the operational semantics
+/// resets the valuation at every transaction start, Appendix B /spawn) and
+/// implicitly initialized to 0. Global variables are interned program-wide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_PROGRAM_PROGRAM_H
+#define TXDPOR_PROGRAM_PROGRAM_H
+
+#include "program/Expr.h"
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace txdpor {
+
+enum class InstrKind : uint8_t { Assign, Read, Write, Abort };
+
+/// One (optionally guarded) instruction of a transaction body.
+struct Instr {
+  InstrKind Kind;
+  /// Optional guard: the instruction executes only if the guard evaluates
+  /// to non-zero (paper: if(φ(ā)){Instr}).
+  ExprRef Guard;
+  LocalId Target = 0; ///< Assign / Read destination.
+  VarId Var = 0;      ///< Read / Write global variable.
+  ExprRef Rhs;        ///< Assign / Write right-hand side.
+
+  static Instr makeAssign(LocalId Target, ExprRef Rhs, ExprRef Guard = {}) {
+    Instr I{InstrKind::Assign, std::move(Guard), Target, 0, std::move(Rhs)};
+    return I;
+  }
+  static Instr makeRead(LocalId Target, VarId Var, ExprRef Guard = {}) {
+    Instr I{InstrKind::Read, std::move(Guard), Target, Var, {}};
+    return I;
+  }
+  static Instr makeWrite(VarId Var, ExprRef Rhs, ExprRef Guard = {}) {
+    Instr I{InstrKind::Write, std::move(Guard), 0, Var, std::move(Rhs)};
+    return I;
+  }
+  static Instr makeAbort(ExprRef Guard = {}) {
+    Instr I{InstrKind::Abort, std::move(Guard), 0, 0, {}};
+    return I;
+  }
+};
+
+/// A transaction: named body with interned transaction-scoped locals.
+class Transaction {
+public:
+  explicit Transaction(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<Instr> &body() const { return Body; }
+  unsigned numLocals() const {
+    return static_cast<unsigned>(LocalNames.size());
+  }
+  const std::string &localName(LocalId L) const {
+    assert(L < LocalNames.size() && "local id out of range");
+    return LocalNames[L];
+  }
+  /// Returns the id of local \p Name, if declared.
+  std::optional<LocalId> findLocal(const std::string &Name) const;
+
+  /// Interns a local name (idempotent) and returns its id.
+  LocalId internLocal(const std::string &Name);
+
+  void append(Instr I) { Body.push_back(std::move(I)); }
+
+private:
+  std::string Name;
+  std::vector<Instr> Body;
+  std::vector<std::string> LocalNames;
+  std::unordered_map<std::string, LocalId> LocalIds;
+};
+
+/// A whole program: sessions of transactions plus the global-variable
+/// table. Immutable once built (see ProgramBuilder).
+class Program {
+public:
+  unsigned numSessions() const {
+    return static_cast<unsigned>(Sessions.size());
+  }
+  unsigned numTxns(unsigned Session) const {
+    assert(Session < Sessions.size() && "session out of range");
+    return static_cast<unsigned>(Sessions[Session].size());
+  }
+  unsigned totalTxns() const;
+  const Transaction &txn(TxnUid Uid) const {
+    assert(!Uid.isInit() && "the initial transaction has no code");
+    assert(Uid.Session < Sessions.size() &&
+           Uid.Index < Sessions[Uid.Session].size() && "bad transaction uid");
+    return Sessions[Uid.Session][Uid.Index];
+  }
+
+  unsigned numVars() const { return static_cast<unsigned>(VarNames.size()); }
+  const std::string &varName(VarId V) const {
+    assert(V < VarNames.size() && "variable id out of range");
+    return VarNames[V];
+  }
+  std::optional<VarId> findVar(const std::string &Name) const;
+
+  /// Name resolver suitable for History::str.
+  VarNameFn varNameFn() const {
+    return [this](VarId V) { return varName(V); };
+  }
+
+  /// All transaction uids in oracle order (§5.1): sessions ascending, and
+  /// within a session by position. This fixed order is consistent with
+  /// session order, as the oracle order must be.
+  std::vector<TxnUid> oracleOrder() const;
+
+  /// Multi-line source-like rendering.
+  std::string str() const;
+
+private:
+  friend class ProgramBuilder;
+  std::vector<std::vector<Transaction>> Sessions;
+  std::vector<std::string> VarNames;
+  std::unordered_map<std::string, VarId> VarIds;
+};
+
+/// Fluent builder for programs. Typical use:
+/// \code
+///   ProgramBuilder B;
+///   VarId X = B.var("x");
+///   auto &T = B.beginTxn(/*Session=*/0, "writer");
+///   T.read("a", X);
+///   T.write(X, T.local("a") + 1);
+/// \endcode
+class ProgramBuilder {
+public:
+  /// Interns a global variable.
+  VarId var(const std::string &Name);
+
+  /// Appends a new transaction to \p Session (sessions are created on
+  /// demand) and returns a handle for adding instructions.
+  class TxnHandle;
+  TxnHandle beginTxn(unsigned Session, const std::string &Name = "");
+
+  /// Finalizes and returns the program. The builder is left empty.
+  Program build();
+
+  /// Handle used to populate one transaction's body.
+  class TxnHandle {
+  public:
+    /// Expression referring to local \p Name (interned on first use).
+    ExprRef local(const std::string &Name) {
+      return Expr::makeLocal(Txn->internLocal(Name));
+    }
+
+    TxnHandle &assign(const std::string &Local, ExprRef Rhs,
+                      ExprRef Guard = {}) {
+      Txn->append(Instr::makeAssign(Txn->internLocal(Local), std::move(Rhs),
+                                    std::move(Guard)));
+      return *this;
+    }
+    TxnHandle &read(const std::string &Local, VarId Var, ExprRef Guard = {}) {
+      Txn->append(Instr::makeRead(Txn->internLocal(Local), Var,
+                                  std::move(Guard)));
+      return *this;
+    }
+    TxnHandle &write(VarId Var, ExprRef Rhs, ExprRef Guard = {}) {
+      Txn->append(Instr::makeWrite(Var, std::move(Rhs), std::move(Guard)));
+      return *this;
+    }
+    TxnHandle &abort(ExprRef Guard = {}) {
+      Txn->append(Instr::makeAbort(std::move(Guard)));
+      return *this;
+    }
+
+  private:
+    friend class ProgramBuilder;
+    explicit TxnHandle(Transaction *Txn) : Txn(Txn) {}
+    Transaction *Txn;
+  };
+
+private:
+  // Transactions are kept in deques during building: TxnHandle holds a raw
+  // pointer and deque::emplace_back never invalidates element addresses.
+  std::vector<std::deque<Transaction>> Sessions;
+  std::vector<std::string> VarNames;
+  std::unordered_map<std::string, VarId> VarIds;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_PROGRAM_PROGRAM_H

@@ -1,0 +1,123 @@
+//===- semantics/Executor.cpp - Operational semantics ---------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Executor.h"
+
+using namespace txdpor;
+
+DbOp txdpor::advanceToDbOp(const Transaction &Code, TxnCursor &Cur) {
+  assert(!Cur.Finished && "advancing a finished transaction");
+  const std::vector<Instr> &Body = Code.body();
+  while (Cur.NextInstr < Body.size()) {
+    const Instr &I = Body[Cur.NextInstr];
+    // Rules /if-true and /if-false: a false guard skips the instruction.
+    if (I.Guard.valid() && I.Guard.evaluate(Cur.Locals) == 0) {
+      ++Cur.NextInstr;
+      continue;
+    }
+    switch (I.Kind) {
+    case InstrKind::Assign: // Rule /local.
+      assert(I.Target < Cur.Locals.size() && "assign target out of range");
+      Cur.Locals[I.Target] = I.Rhs.evaluate(Cur.Locals);
+      ++Cur.NextInstr;
+      continue;
+    case InstrKind::Read:
+      return {DbOp::Kind::Read, I.Var, 0, I.Target};
+    case InstrKind::Write:
+      return {DbOp::Kind::Write, I.Var, I.Rhs.evaluate(Cur.Locals), 0};
+    case InstrKind::Abort:
+      return {DbOp::Kind::Abort, 0, 0, 0};
+    }
+  }
+  return {DbOp::Kind::Commit, 0, 0, 0};
+}
+
+void txdpor::applyRead(const Transaction &Code, TxnCursor &Cur, Value V) {
+  const Instr &I = Code.body()[Cur.NextInstr];
+  assert(I.Kind == InstrKind::Read && "cursor is not at a read");
+  assert(I.Target < Cur.Locals.size() && "read target out of range");
+  Cur.Locals[I.Target] = V;
+  ++Cur.NextInstr;
+}
+
+void txdpor::applyWrite(TxnCursor &Cur) { ++Cur.NextInstr; }
+
+void txdpor::applyFinish(TxnCursor &Cur) { Cur.Finished = true; }
+
+TxnCursor txdpor::replayCursor(const Program &P, const History &H,
+                               unsigned TxnIdx) {
+  const TransactionLog &Log = H.txn(TxnIdx);
+  assert(!Log.isInit() && "the initial transaction has no code to replay");
+  const Transaction &Code = P.txn(Log.uid());
+  TxnCursor Cur = TxnCursor::fresh(Code);
+
+  // events()[0] is begin; replay the rest.
+  for (uint32_t Pos = 1, E = static_cast<uint32_t>(Log.size()); Pos != E;
+       ++Pos) {
+    const Event &Ev = Log.event(Pos);
+    DbOp Op = advanceToDbOp(Code, Cur);
+    switch (Ev.Kind) {
+    case EventKind::Read:
+      assert(Op.Kind == DbOp::Kind::Read && Op.Var == Ev.Var &&
+             "log/replay mismatch on read");
+      applyRead(Code, Cur, H.readValue(TxnIdx, Pos));
+      break;
+    case EventKind::Write:
+      assert(Op.Kind == DbOp::Kind::Write && Op.Var == Ev.Var &&
+             Op.Val == Ev.Val && "log/replay mismatch on write");
+      applyWrite(Cur);
+      break;
+    case EventKind::Commit:
+      assert(Op.Kind == DbOp::Kind::Commit && "log/replay mismatch on commit");
+      applyFinish(Cur);
+      break;
+    case EventKind::Abort:
+      assert(Op.Kind == DbOp::Kind::Abort && "log/replay mismatch on abort");
+      applyFinish(Cur);
+      break;
+    case EventKind::Begin:
+      assert(false && "begin must be the first event only");
+      break;
+    }
+    (void)Op;
+  }
+  return Cur;
+}
+
+CursorMap txdpor::replayAllCursors(const Program &P, const History &H) {
+  CursorMap Cursors;
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    if (H.txn(I).isInit())
+      continue;
+    Cursors.emplace(H.txn(I).uid().packed(), replayCursor(P, H, I));
+  }
+  return Cursors;
+}
+
+Value FinalStates::local(uint32_t Session, uint32_t Index,
+                         const std::string &Name) const {
+  assert(Prog && "FinalStates not initialized");
+  TxnUid Uid{Session, Index};
+  auto It = Locals.find(Uid.packed());
+  assert(It != Locals.end() && "transaction did not run");
+  std::optional<LocalId> L = Prog->txn(Uid).findLocal(Name);
+  assert(L && "unknown local variable");
+  assert(*L < It->second.size() && "local id out of range");
+  return It->second[*L];
+}
+
+FinalStates txdpor::computeFinalStates(const Program &P, const History &H) {
+  FinalStates States;
+  States.Prog = &P;
+  for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
+    if (H.txn(I).isInit())
+      continue;
+    States.Locals.emplace(H.txn(I).uid().packed(),
+                          replayCursor(P, H, I).Locals);
+  }
+  return States;
+}

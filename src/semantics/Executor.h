@@ -1,0 +1,105 @@
+//===- semantics/Executor.h - Operational semantics (Appendix B) ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small-step semantics of Appendix B, restructured for the explorer:
+/// local instructions (assignments, guard evaluation — the rules /local,
+/// /if-true, /if-false) are deterministic given the local valuation, so a
+/// transaction's execution state is fully captured by a cursor
+/// (instruction index + local valuation). advanceToDbOp() runs local steps
+/// until the next database access, exactly like the paper's Next "executes
+/// all local instructions until the next database instruction" (§4).
+///
+/// The same machinery deterministically *replays* a transaction log
+/// against its code (read values resolved through the history's wr
+/// relation), which is how the explorer reconstructs execution states
+/// after Swap re-orders a history (§5.2), and how assertions observe final
+/// local states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SEMANTICS_EXECUTOR_H
+#define TXDPOR_SEMANTICS_EXECUTOR_H
+
+#include "history/History.h"
+#include "program/Program.h"
+
+#include <unordered_map>
+
+namespace txdpor {
+
+/// The next database operation a transaction will perform.
+struct DbOp {
+  enum class Kind : uint8_t { Read, Write, Commit, Abort } Kind;
+  VarId Var = 0;      ///< Read / Write.
+  Value Val = 0;      ///< Write: the evaluated value.
+  LocalId Target = 0; ///< Read: destination local.
+};
+
+/// Execution state of one transaction: position in the body plus the
+/// valuation of its (transaction-scoped) locals, all initially 0.
+struct TxnCursor {
+  uint32_t NextInstr = 0;
+  std::vector<Value> Locals;
+  bool Finished = false;
+
+  static TxnCursor fresh(const Transaction &Code) {
+    TxnCursor C;
+    C.Locals.assign(Code.numLocals(), 0);
+    return C;
+  }
+};
+
+/// Cursor storage for all started transactions, keyed by packed TxnUid.
+using CursorMap = std::unordered_map<uint64_t, TxnCursor>;
+
+/// Runs local steps of \p Code from \p Cur until the next database
+/// operation (or the implicit commit at the end of the body) and returns
+/// it without consuming it. Guards of skipped instructions are evaluated
+/// against the current locals; \p Cur advances past local instructions.
+DbOp advanceToDbOp(const Transaction &Code, TxnCursor &Cur);
+
+/// Consumes a pending Read operation: stores \p V into its target local.
+void applyRead(const Transaction &Code, TxnCursor &Cur, Value V);
+
+/// Consumes a pending Write operation.
+void applyWrite(TxnCursor &Cur);
+
+/// Consumes a pending Commit or Abort: marks the cursor finished.
+void applyFinish(TxnCursor &Cur);
+
+/// Rebuilds the cursor of transaction \p TxnIdx of \p H by replaying its
+/// log against its code. Read values are resolved through H's wr relation.
+/// Asserts, in debug builds, that the log is feasible: replay must emit
+/// exactly the logged events (same kinds, variables and written values).
+TxnCursor replayCursor(const Program &P, const History &H, unsigned TxnIdx);
+
+/// Rebuilds cursors for every non-init transaction of \p H.
+CursorMap replayAllCursors(const Program &P, const History &H);
+
+/// Final local valuation of every transaction of a complete history, used
+/// by assertion checking. Keyed by packed TxnUid.
+struct FinalStates {
+  const Program *Prog = nullptr;
+  std::unordered_map<uint64_t, std::vector<Value>> Locals;
+
+  /// Value of local \p Name in transaction (\p Session, \p Index).
+  /// Asserts that the transaction ran and declares the local.
+  Value local(uint32_t Session, uint32_t Index, const std::string &Name) const;
+
+  /// True if the transaction (\p Session, \p Index) committed is recorded.
+  bool ran(uint32_t Session, uint32_t Index) const {
+    return Locals.count(TxnUid{Session, Index}.packed()) != 0;
+  }
+};
+
+/// Computes final states by replaying every transaction of \p H.
+FinalStates computeFinalStates(const Program &P, const History &H);
+
+} // namespace txdpor
+
+#endif // TXDPOR_SEMANTICS_EXECUTOR_H

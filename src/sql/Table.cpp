@@ -1,0 +1,105 @@
+//===- sql/Table.cpp - SQL-to-variables compilation -----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sql/Table.h"
+
+using namespace txdpor;
+
+Table::Table(ProgramBuilder &B, std::string TableName, unsigned MaxRows,
+             std::vector<std::string> TableColumns)
+    : Name(std::move(TableName)), MaxRows(MaxRows),
+      Columns(std::move(TableColumns)) {
+  assert(MaxRows > 0 && MaxRows <= 62 && "row ids must fit a value bitmask");
+  assert(!Columns.empty() && "a table needs at least one column");
+  SetVar = B.var(Name + ".set");
+  for (unsigned Row = 0; Row != MaxRows; ++Row)
+    for (const std::string &Column : Columns)
+      Cells.push_back(
+          B.var(Name + "." + std::to_string(Row) + "." + Column));
+}
+
+VarId Table::cellVar(unsigned RowId, unsigned Column) const {
+  assert(RowId < MaxRows && Column < Columns.size() && "cell out of range");
+  return Cells[RowId * Columns.size() + Column];
+}
+
+unsigned Table::columnIndex(const std::string &Column) const {
+  for (unsigned I = 0; I != Columns.size(); ++I)
+    if (Columns[I] == Column)
+      return I;
+  assert(false && "unknown column");
+  return 0;
+}
+
+std::string Table::freshLocal(const std::string &Stem) {
+  return "__" + Name + "_" + Stem + std::to_string(LocalCounter++);
+}
+
+void Table::insert(ProgramBuilder::TxnHandle &T, unsigned RowId,
+                   const std::vector<ExprRef> &Values) {
+  assert(RowId < MaxRows && "row id out of range");
+  assert(Values.size() == Columns.size() && "one value per column");
+  std::string SetLocal = freshLocal("s");
+  T.read(SetLocal, SetVar);
+  T.write(SetVar, bitOr(T.local(SetLocal), Value(1) << RowId));
+  for (unsigned Column = 0; Column != Columns.size(); ++Column)
+    T.write(cellVar(RowId, Column), Values[Column]);
+}
+
+void Table::remove(ProgramBuilder::TxnHandle &T, unsigned RowId) {
+  assert(RowId < MaxRows && "row id out of range");
+  std::string SetLocal = freshLocal("s");
+  T.read(SetLocal, SetVar);
+  T.write(SetVar, bitAnd(T.local(SetLocal), ~(Value(1) << RowId)));
+}
+
+void Table::selectById(ProgramBuilder::TxnHandle &T, unsigned RowId,
+                       const std::string &Prefix) {
+  assert(RowId < MaxRows && "row id out of range");
+  std::string SetLocal = freshLocal("s");
+  T.read(SetLocal, SetVar);
+  ExprRef Present = ne(bitAnd(T.local(SetLocal), Value(1) << RowId), 0);
+  T.assign(Prefix + "_exists", Present);
+  for (unsigned Column = 0; Column != Columns.size(); ++Column)
+    T.read(Prefix + "_" + Columns[Column], cellVar(RowId, Column), Present);
+}
+
+void Table::updateById(ProgramBuilder::TxnHandle &T, unsigned RowId,
+                       const std::string &Column, ExprRef NewValue) {
+  assert(RowId < MaxRows && "row id out of range");
+  std::string SetLocal = freshLocal("s");
+  T.read(SetLocal, SetVar);
+  ExprRef Present = ne(bitAnd(T.local(SetLocal), Value(1) << RowId), 0);
+  T.write(cellVar(RowId, columnIndex(Column)), std::move(NewValue), Present);
+}
+
+void Table::scan(ProgramBuilder::TxnHandle &T, const std::string &Prefix) {
+  std::string SetLocal = Prefix + "_set";
+  T.read(SetLocal, SetVar);
+  for (unsigned Row = 0; Row != MaxRows; ++Row) {
+    ExprRef Present = ne(bitAnd(T.local(SetLocal), Value(1) << Row), 0);
+    for (unsigned Column = 0; Column != Columns.size(); ++Column)
+      T.read(Prefix + "_" + std::to_string(Row) + "_" + Columns[Column],
+             cellVar(Row, Column), Present);
+  }
+}
+
+void Table::updateWhere(ProgramBuilder::TxnHandle &T,
+                        const std::string &Column, ExprRef NewValue,
+                        const RowPredicate &Where) {
+  std::string Prefix = freshLocal("u");
+  scan(T, Prefix);
+  unsigned Target = columnIndex(Column);
+  for (unsigned Row = 0; Row != MaxRows; ++Row) {
+    auto Cell = [&, Row](const std::string &Col) {
+      return T.local(Prefix + "_" + std::to_string(Row) + "_" + Col);
+    };
+    ExprRef Present =
+        ne(bitAnd(T.local(Prefix + "_set"), Value(1) << Row), 0);
+    T.write(cellVar(Row, Target), NewValue, land(Present, Where(Cell)));
+  }
+}

@@ -1,0 +1,107 @@
+//===- sql/Table.h - SQL-to-variables compilation (§2.1, §7.2) ------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's relational frontend: "SQL tables are modeled using a 'set'
+/// global variable whose content is the set of ids (primary keys) of the
+/// rows present in the table, and a set of global variables, one variable
+/// for each row ... INSERT and DELETE are modeled as writes on that set
+/// variable while SQL statements with a WHERE clause (SELECT, JOIN,
+/// UPDATE) are compiled to a read of the table's set variable followed by
+/// reads or writes of variables that represent rows" (§7.2, following
+/// Biswas et al. 2021).
+///
+/// Table implements that compilation over a bounded id space, with one
+/// global variable per (row, column) cell. Statement helpers emit the
+/// paper's access pattern into a transaction under construction; WHERE
+/// clauses become guards over the set-variable bitmask and previously
+/// read cells.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SQL_TABLE_H
+#define TXDPOR_SQL_TABLE_H
+
+#include "program/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace txdpor {
+
+/// A bounded relational table compiled to global variables.
+class Table {
+public:
+  /// Declares the table's variables in \p B: a presence-set variable plus
+  /// one variable per (row id, column).
+  Table(ProgramBuilder &B, std::string Name, unsigned MaxRows,
+        std::vector<std::string> Columns);
+
+  const std::string &name() const { return Name; }
+  unsigned maxRows() const { return MaxRows; }
+  unsigned numColumns() const { return static_cast<unsigned>(Columns.size()); }
+
+  VarId setVar() const { return SetVar; }
+  VarId cellVar(unsigned RowId, unsigned Column) const;
+  unsigned columnIndex(const std::string &Column) const;
+
+  //===--------------------------------------------------------------------===
+  // Statements. Each emits the §7.2 access pattern into the transaction
+  // \p T. Statements read the set variable into a fresh transaction
+  // local, so repeated statements in one transaction re-read it (matching
+  // the per-statement compilation of the paper; under any level at least
+  // RA the reads agree).
+  //===--------------------------------------------------------------------===
+
+  /// INSERT INTO t VALUES (RowId, Values...): set-variable RMW adding the
+  /// id bit, then writes of the row's cells.
+  void insert(ProgramBuilder::TxnHandle &T, unsigned RowId,
+              const std::vector<ExprRef> &Values);
+
+  /// DELETE FROM t WHERE id = RowId: set-variable RMW clearing the bit.
+  void remove(ProgramBuilder::TxnHandle &T, unsigned RowId);
+
+  /// SELECT * FROM t WHERE id = RowId: read the set variable, then
+  /// guarded reads of the row's cells into locals
+  /// "<Prefix>_<column>". Also defines "<Prefix>_exists".
+  void selectById(ProgramBuilder::TxnHandle &T, unsigned RowId,
+                  const std::string &Prefix);
+
+  /// UPDATE t SET column = Value WHERE id = RowId (guarded by presence).
+  void updateById(ProgramBuilder::TxnHandle &T, unsigned RowId,
+                  const std::string &Column, ExprRef Value);
+
+  /// SELECT * FROM t (full scan): read the set variable and every row's
+  /// cells, guarded by presence, into locals "<Prefix>_<row>_<column>".
+  /// Defines "<Prefix>_set" with the presence bitmask.
+  void scan(ProgramBuilder::TxnHandle &T, const std::string &Prefix);
+
+  /// UPDATE t SET Column = Value WHERE Where(row locals): full-scan
+  /// update — reads the set and each row's cells, then conditionally
+  /// writes the target column of every present row satisfying the
+  /// predicate. \p Where receives, per row, a getter for that row's
+  /// column expressions.
+  using RowPredicate =
+      std::function<ExprRef(std::function<ExprRef(const std::string &)>)>;
+  void updateWhere(ProgramBuilder::TxnHandle &T, const std::string &Column,
+                   ExprRef Value, const RowPredicate &Where);
+
+private:
+  /// Fresh local name for internal set reads.
+  std::string freshLocal(const std::string &Stem);
+
+  std::string Name;
+  unsigned MaxRows;
+  std::vector<std::string> Columns;
+  VarId SetVar;
+  std::vector<VarId> Cells; ///< RowId-major, then column.
+  unsigned LocalCounter = 0;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_SQL_TABLE_H

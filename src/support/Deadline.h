@@ -1,0 +1,74 @@
+//===- support/Deadline.h - Wall-clock budgets for explorations ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation runs every benchmark with a 30-minute timeout and
+/// reports "TL" rows. We reproduce that with a Deadline the explorer polls;
+/// when it expires the exploration unwinds cleanly and the statistics
+/// gathered so far are reported with a timed-out flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_DEADLINE_H
+#define TXDPOR_SUPPORT_DEADLINE_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace txdpor {
+
+/// A wall-clock budget. Default-constructed deadlines never expire.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline afterMillis(int64_t Millis) {
+    Deadline D;
+    D.HasLimit = true;
+    D.Limit = Clock::now() + std::chrono::milliseconds(Millis);
+    return D;
+  }
+
+  static Deadline never() { return Deadline(); }
+
+  bool expired() const {
+    if (!HasLimit)
+      return false;
+    // Poll the clock only every few checks: the explorer calls this in its
+    // hot loop and steady_clock reads are comparatively expensive.
+    if (++PollCounter % 64 != 0)
+      return Expired;
+    Expired = Clock::now() >= Limit;
+    return Expired;
+  }
+
+private:
+  bool HasLimit = false;
+  Clock::time_point Limit{};
+  mutable uint32_t PollCounter = 0;
+  mutable bool Expired = false;
+};
+
+/// Simple stopwatch for reporting elapsed milliseconds.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Deadline::Clock::now()) {}
+
+  double elapsedMillis() const {
+    auto D = Deadline::Clock::now() - Start;
+    return std::chrono::duration<double, std::milli>(D).count();
+  }
+
+private:
+  Deadline::Clock::time_point Start;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_DEADLINE_H

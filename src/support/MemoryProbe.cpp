@@ -1,0 +1,18 @@
+//===- support/MemoryProbe.cpp - Peak memory reporting --------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryProbe.h"
+
+#include <sys/resource.h>
+
+uint64_t txdpor::peakRssKb() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<uint64_t>(Usage.ru_maxrss);
+}

@@ -1,0 +1,30 @@
+//===- support/MemoryProbe.h - Peak memory reporting ----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 14b of the paper plots memory consumption per algorithm. We report
+/// the process peak RSS (ru_maxrss), which is what "memory consumption" of
+/// a JVM-hosted run approximates as well. Peak RSS is monotone across a
+/// process lifetime, so per-run numbers within one bench binary are upper
+/// bounds; the polynomial-space claim shows up as the curve staying flat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_MEMORYPROBE_H
+#define TXDPOR_SUPPORT_MEMORYPROBE_H
+
+#include <cstdint>
+
+namespace txdpor {
+
+/// Returns the peak resident set size of this process in kilobytes, or 0 if
+/// it cannot be determined.
+uint64_t peakRssKb();
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_MEMORYPROBE_H

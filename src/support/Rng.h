@@ -1,0 +1,60 @@
+//===- support/Rng.h - Deterministic pseudo-random generator --------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64) used to generate benchmark client
+/// programs and random histories/programs in property tests. We avoid
+/// std::mt19937 so that generated workloads are reproducible across
+/// standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_RNG_H
+#define TXDPOR_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace txdpor {
+
+/// SplitMix64: tiny, fast, and good enough for workload generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow needs a positive bound");
+    // Modulo bias is irrelevant for workload generation purposes.
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_RNG_H

@@ -1,0 +1,63 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace txdpor;
+
+TablePrinter::TablePrinter(std::vector<std::string> Hdr)
+    : Header(std::move(Hdr)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Width[C])
+        Width[C] = Row[C].size();
+
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 != Row.size())
+        OS << std::string(Width[C] - Row[C].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  emitRow(Header);
+  size_t Total = 0;
+  for (size_t C = 0; C != Header.size(); ++C)
+    Total += Width[C] + (C + 1 != Header.size() ? 2 : 0);
+  OS << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    emitRow(Row);
+}
+
+std::string TablePrinter::formatMillis(double Millis, bool TimedOut) {
+  if (TimedOut)
+    return "TL";
+  int64_t Total = static_cast<int64_t>(std::llround(Millis));
+  int64_t Minutes = Total / 60000;
+  int64_t Seconds = (Total / 1000) % 60;
+  int64_t Ms = Total % 1000;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%02lld:%02lld.%03lld",
+                static_cast<long long>(Minutes),
+                static_cast<long long>(Seconds), static_cast<long long>(Ms));
+  return Buf;
+}

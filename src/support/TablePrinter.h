@@ -1,0 +1,47 @@
+//===- support/TablePrinter.h - Aligned text tables for benches ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench binaries regenerate the paper's tables (Appendix F) and the
+/// series behind its cactus/scalability plots. TablePrinter renders rows
+/// with aligned columns so the output can be eyeballed against the paper
+/// and grepped by scripts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_TABLEPRINTER_H
+#define TXDPOR_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace txdpor {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the header, a separator, and all rows to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Formats a millisecond duration as "mm:ss.mmm" like the paper's
+  /// time columns, or "TL" when \p TimedOut.
+  static std::string formatMillis(double Millis, bool TimedOut);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,195 @@
+//===- tests/apps_test.cpp - Benchmark application tests ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Applications.h"
+
+#include "apps/Courseware.h"
+#include "apps/ShoppingCart.h"
+#include "apps/Tpcc.h"
+#include "apps/Twitter.h"
+#include "apps/Wikipedia.h"
+#include "core/Enumerate.h"
+#include "semantics/Executor.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+
+TEST(AppsTest, ClientGenerationDeterministic) {
+  for (AppKind App : AllApps) {
+    ClientSpec Spec;
+    Spec.Sessions = 3;
+    Spec.TxnsPerSession = 3;
+    Spec.Seed = 7;
+    Program A = makeClientProgram(App, Spec);
+    Program B = makeClientProgram(App, Spec);
+    EXPECT_EQ(A.str(), B.str()) << appName(App);
+    EXPECT_EQ(A.numSessions(), 3u);
+    EXPECT_EQ(A.totalTxns(), 9u);
+  }
+}
+
+TEST(AppsTest, DifferentSeedsDiffer) {
+  unsigned Different = 0;
+  for (AppKind App : AllApps) {
+    ClientSpec S1{3, 3, 1}, S2{3, 3, 2};
+    if (makeClientProgram(App, S1).str() != makeClientProgram(App, S2).str())
+      ++Different;
+  }
+  EXPECT_GE(Different, 4u) << "seeds should vary the workloads";
+}
+
+TEST(AppsTest, ClientNames) {
+  EXPECT_EQ(clientName(AppKind::Tpcc, 0), "tpcc-1");
+  EXPECT_EQ(clientName(AppKind::ShoppingCart, 4), "shoppingCart-5");
+}
+
+TEST(AppsTest, SmallClientsExploreUnderCC) {
+  for (AppKind App : AllApps) {
+    ClientSpec Spec;
+    Spec.Sessions = 2;
+    Spec.TxnsPerSession = 2;
+    Spec.Seed = 3;
+    Program P = makeClientProgram(App, Spec);
+    ExplorerConfig C =
+        ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+    C.MaxEndStates = 50000;
+    auto R = enumerateHistories(P, C);
+    EXPECT_FALSE(R.Stats.HitEndStateCap) << appName(App);
+    EXPECT_GT(R.Histories.size(), 0u) << appName(App);
+    EXPECT_EQ(R.Stats.BlockedReads, 0u) << appName(App);
+    auto Counts = countByCanonicalKey(R.Histories);
+    EXPECT_EQ(Counts.size(), R.Histories.size())
+        << appName(App) << ": duplicate histories";
+  }
+}
+
+TEST(AppsTest, ShoppingCartSemantics) {
+  ProgramBuilder B;
+  ShoppingCartApp App(B, /*NumUsers=*/1, /*NumItems=*/2);
+  App.addItem(0, 0, 0, 3);
+  App.getCart(1, 0);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  // getCart sees the cart set either before or after the insert; when it
+  // sees the insert it also reads the quantity row.
+  bool SawItem = false, SawEmpty = false;
+  for (const History &H : R.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    Value Cart = States.local(1, 0, "c");
+    if (Cart & 1)
+      SawItem = true;
+    else
+      SawEmpty = true;
+  }
+  EXPECT_TRUE(SawItem);
+  EXPECT_TRUE(SawEmpty);
+}
+
+TEST(AppsTest, CoursewareEnrollRespectsGuardLocally) {
+  ProgramBuilder B;
+  CoursewareApp App(B, /*NumStudents=*/1, /*NumCourses=*/1, /*Capacity=*/1);
+  App.openCourse(0, 0);
+  App.enroll(0, 0, 0);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  // Single session: open then enroll; the enrollment must succeed.
+  for (const History &H : R.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    EXPECT_EQ(States.local(0, 1, "did"), 1);
+  }
+  EXPECT_EQ(R.Histories.size(), 1u);
+}
+
+TEST(AppsTest, TwitterFollowThenTimeline) {
+  ProgramBuilder B;
+  TwitterApp App(B, /*NumUsers=*/2);
+  App.follow(0, 0, 1);   // user 0 follows user 1.
+  App.tweet(1, 1);       // user 1 tweets.
+  App.getTimeline(2, 0); // user 0 reads its timeline.
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_GT(R.Histories.size(), 1u);
+  // In some execution the timeline observes both the follow and the tweet.
+  bool SawTweet = false;
+  for (const History &H : R.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    if (States.local(2, 0, "f") == 0b10 && States.local(2, 0, "t1") == 1)
+      SawTweet = true;
+  }
+  EXPECT_TRUE(SawTweet);
+}
+
+TEST(AppsTest, TpccNewOrderAllocatesIds) {
+  ProgramBuilder B;
+  TpccApp App(B, /*NumItems=*/1, /*NumCustomers=*/1);
+  App.newOrder(0, 0);
+  App.newOrder(1, 0);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  // Under CC the two counter RMWs can collide (lost update) or chain.
+  bool SawCollision = false, SawChain = false;
+  for (const History &H : R.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    Value A = States.local(0, 0, "o"), Bv = States.local(1, 0, "o");
+    (A == Bv ? SawCollision : SawChain) = true;
+  }
+  EXPECT_TRUE(SawCollision) << "lost update possible under CC";
+  EXPECT_TRUE(SawChain);
+
+  // Under SER the ids must be distinct.
+  auto Ser = enumerateHistories(
+      P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                       IsolationLevel::Serializability));
+  for (const History &H : Ser.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    EXPECT_NE(States.local(0, 0, "o"), States.local(1, 0, "o"));
+  }
+}
+
+TEST(AppsTest, WikipediaWatchlistRoundTrip) {
+  ProgramBuilder B;
+  WikipediaApp App(B, /*NumUsers=*/1, /*NumPages=*/2);
+  App.addWatch(0, 0, 1);
+  App.removeWatch(0, 0, 1);
+  App.getPageAuthenticated(1, 0, 1);
+  Program P = B.build();
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  // The session-local add+remove nets out; the reader sees 0 or the
+  // intermediate bit depending on which write it reads.
+  bool SawSet = false, SawClear = false;
+  for (const History &H : R.Histories) {
+    FinalStates States = computeFinalStates(P, H);
+    (States.local(1, 0, "w") & 0b10 ? SawSet : SawClear) = true;
+  }
+  EXPECT_TRUE(SawSet);
+  EXPECT_TRUE(SawClear);
+}
+
+TEST(AppsTest, ScalingShapesAreExplorable) {
+  // The Fig. 15 sweeps use 1..4 sessions/txns; ensure the smaller shapes
+  // stay within a practical budget here.
+  ClientSpec Spec;
+  Spec.Sessions = 1;
+  Spec.TxnsPerSession = 3;
+  Spec.Seed = 11;
+  for (AppKind App : {AppKind::Tpcc, AppKind::Wikipedia}) {
+    Program P = makeClientProgram(App, Spec);
+    auto R = enumerateHistories(
+        P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+    EXPECT_EQ(R.Histories.size(), 1u)
+        << appName(App) << ": single session is deterministic";
+  }
+}

@@ -1,0 +1,169 @@
+//===- tests/axioms_test.cpp - Direct axiom evaluation tests --------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the first-order axiom predicates of Fig. 2 / Fig. A.1 against
+/// explicit commit orders, independent of any search: for a fixed (h, co)
+/// pair each axiom either holds or pinpoints the exact forbidden shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Axioms.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+
+/// Total order over transaction indices in the given sequence.
+Relation makeCo(unsigned N, std::initializer_list<unsigned> Sequence) {
+  assert(Sequence.size() == N && "commit order must cover all transactions");
+  Relation Co(N);
+  std::vector<unsigned> Seq(Sequence);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned J = I + 1; J != N; ++J)
+      Co.set(Seq[I], Seq[J]);
+  return Co;
+}
+
+} // namespace
+
+TEST(AxiomsTest, SerializabilityReadsLatestPrecedingWriter) {
+  // init(0), w1(1) writes x=1, w2(2) writes x=2, r(3) reads x from w1.
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).w(X, 2).commit()
+                  .txn(2, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  // init < w1 < w2 < r: w2 is between the writer and the reader — bad.
+  EXPECT_FALSE(serializabilityAxiom(H, makeCo(4, {0, 1, 2, 3})));
+  // init < w2 < w1 < r: the read's writer is the latest — good.
+  EXPECT_TRUE(serializabilityAxiom(H, makeCo(4, {0, 2, 1, 3})));
+  // init < w1 < r < w2: later writers are irrelevant — good.
+  EXPECT_TRUE(serializabilityAxiom(H, makeCo(4, {0, 1, 3, 2})));
+}
+
+TEST(AxiomsTest, CausalConsistencyIgnoresCoOnlyPredecessors) {
+  // Same shape: CC's premise is (so ∪ wr)+, not co, so w2 being co-before
+  // the reader does not matter as long as it is causally unrelated.
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).w(X, 2).commit()
+                  .txn(2, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  EXPECT_TRUE(causalConsistencyAxiom(H, makeCo(4, {0, 1, 2, 3})));
+}
+
+TEST(AxiomsTest, CausalConsistencyForcedByCausalPath) {
+  // Fig. 3: t2 is causally before the reader t3 (via t4) and writes x, so
+  // it must commit before the reader's writer t1 — impossible since t2
+  // reads from t1.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()                 // t1 = 1
+                  .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit() // t2 = 2
+                  .txn(3, 0).r(X, uid(1, 0)).w(Y, 1).commit() // t4 = 3
+                  .txn(2, 0).r(X, uid(0, 0)).r(Y, uid(3, 0)).commit() // t3
+                  .build();
+  // Any co extending wr has t1 < t2; the axiom then demands t2 < t1.
+  EXPECT_FALSE(causalConsistencyAxiom(H, makeCo(5, {0, 1, 2, 3, 4})));
+  // Read Atomic's weaker premise (direct so ∪ wr only) is satisfied by
+  // the same order: t2 is not a *direct* predecessor of t3.
+  EXPECT_TRUE(readAtomicAxiom(H, makeCo(5, {0, 1, 2, 3, 4})));
+}
+
+TEST(AxiomsTest, ReadAtomicDirectPredecessor) {
+  // Fractured read: t0.0 writes x and y; reader reads x from t0.0 but y
+  // from init. t0.0 is a direct wr predecessor, writes y, and must then
+  // commit before init — cycle with so.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).w(Y, 1).commit()
+                  .txn(1, 0).r(Y, TxnUid::init()).r(X, uid(0, 0)).commit()
+                  .build();
+  EXPECT_FALSE(readAtomicAxiom(H, makeCo(3, {0, 1, 2})));
+  // Read Committed tolerates it in this read order: the stale y read
+  // happens before the transaction observed t0.0.
+  EXPECT_TRUE(readCommittedAxiom(H, makeCo(3, {0, 1, 2})));
+}
+
+TEST(AxiomsTest, ReadCommittedMonotonicObservation) {
+  // Opposite read order: x from t0.0 first, then stale y from init —
+  // wr ∘ po reaches the y read, forcing t0.0 before init.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).w(Y, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).r(Y, TxnUid::init()).commit()
+                  .build();
+  EXPECT_FALSE(readCommittedAxiom(H, makeCo(3, {0, 1, 2})));
+}
+
+TEST(AxiomsTest, PrefixAxiomLongFork) {
+  // Long fork: readers disagree on the order of two independent writes.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit() // 1
+                  .txn(1, 0).w(Y, 1).commit() // 2
+                  .txn(2, 0).r(X, uid(0, 0)).r(Y, TxnUid::init()).commit()
+                  .txn(3, 0).r(Y, uid(1, 0)).r(X, TxnUid::init()).commit()
+                  .build();
+  // Either order of the two writers violates Prefix for one reader.
+  EXPECT_FALSE(prefixAxiom(H, makeCo(5, {0, 1, 2, 3, 4})));
+  EXPECT_FALSE(prefixAxiom(H, makeCo(5, {0, 2, 1, 3, 4})));
+  // Conflict is vacuous here (no write-write sharing).
+  EXPECT_TRUE(conflictAxiom(H, makeCo(5, {0, 1, 2, 3, 4})));
+}
+
+TEST(AxiomsTest, ConflictAxiomLostUpdate) {
+  // Lost update: both transactions read x from init and write x.
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).r(X, TxnUid::init()).w(X, 1).commit()
+                  .txn(1, 0).r(X, TxnUid::init()).w(X, 2).commit()
+                  .build();
+  // In order init < t0 < t1: t1 reads x from init, t0 writes x, t0 and t1
+  // both write x with (t0, t1) ∈ co — Conflict forces t0 before init.
+  EXPECT_FALSE(conflictAxiom(H, makeCo(3, {0, 1, 2})));
+  EXPECT_FALSE(conflictAxiom(H, makeCo(3, {0, 2, 1})));
+  // Prefix alone is fine with init < t0 < t1 (t0 is not a wr ∪ so
+  // predecessor of t1).
+  EXPECT_TRUE(prefixAxiom(H, makeCo(3, {0, 1, 2})));
+}
+
+TEST(AxiomsTest, WriteSkewSatisfiesSiAxioms) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).r(X, TxnUid::init()).w(Y, 1).commit()
+                  .txn(1, 0).r(Y, TxnUid::init()).w(X, 1).commit()
+                  .build();
+  Relation Co = makeCo(3, {0, 1, 2});
+  EXPECT_TRUE(prefixAxiom(H, Co));
+  EXPECT_TRUE(conflictAxiom(H, Co));
+  EXPECT_FALSE(serializabilityAxiom(H, Co));
+  EXPECT_FALSE(serializabilityAxiom(H, makeCo(3, {0, 2, 1})));
+}
+
+TEST(AxiomsTest, AbortedTransactionsAreInvisibleToAxioms) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 9).abort()
+                  .txn(1, 0).r(X, TxnUid::init()).commit()
+                  .build();
+  // The aborted writer cannot play t2 in any axiom.
+  for (IsolationLevel Level : AllIsolationLevels)
+    EXPECT_TRUE(axiomsHold(H, makeCo(3, {0, 1, 2}), Level))
+        << isolationLevelName(Level);
+}
+
+TEST(AxiomsTest, AxiomsHoldDispatch) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  Relation Co = makeCo(3, {0, 1, 2});
+  for (IsolationLevel Level : AllIsolationLevels)
+    EXPECT_TRUE(axiomsHold(H, Co, Level)) << isolationLevelName(Level);
+}

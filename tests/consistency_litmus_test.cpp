@@ -1,0 +1,321 @@
+//===- tests/consistency_litmus_test.cpp - Anomaly classification ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies the classic weak-isolation anomalies and the paper's figure
+/// histories against all five levels, using both the production checkers
+/// and the brute-force Def. 2.2 oracle. Expected classifications follow
+/// the textbook hierarchy RC ⊃ RA ⊃ CC ⊃ SI ⊃ SER.
+///
+//===----------------------------------------------------------------------===//
+
+#include "consistency/BruteForceChecker.h"
+#include "consistency/ConsistencyChecker.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+constexpr VarId Z = 2;
+
+struct Litmus {
+  const char *Name;
+  History H;
+  bool Rc, Ra, Cc, Si, Ser;
+};
+
+std::vector<Litmus> makeLitmusSuite() {
+  std::vector<Litmus> Suite;
+
+  // Serial chain: consistent everywhere.
+  Suite.push_back({"serial-chain",
+                   LitmusBuilder(1)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit()
+                       .txn(2, 0).r(X, uid(1, 0)).commit()
+                       .build(),
+                   true, true, true, true, true});
+
+  // Non-repeatable read: RC allows, RA forbids.
+  Suite.push_back({"non-repeatable-read",
+                   LitmusBuilder(1)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(1, 0).w(X, 2).commit()
+                       .txn(2, 0).r(X, uid(0, 0)).r(X, uid(1, 0)).commit()
+                       .build(),
+                   true, false, false, false, false});
+
+  // Reading x from t after already observing (po-earlier) a newer write
+  // of x: violates even RC's wr ∘ po monotonicity.
+  Suite.push_back({"non-monotonic-read",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).w(Y, 1).commit()
+                       .txn(1, 0).r(X, uid(0, 0)).r(Y, TxnUid::init())
+                       .commit()
+                       .build(),
+                   false, false, false, false, false});
+
+  // Fractured read in the RC-tolerated direction: read y (stale) before
+  // observing t0.0 at all.
+  Suite.push_back({"fractured-read",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).w(Y, 1).commit()
+                       .txn(1, 0).r(Y, TxnUid::init()).r(X, uid(0, 0))
+                       .commit()
+                       .build(),
+                   true, false, false, false, false});
+
+  // Fig. 3 of the paper: causality violation. t1 writes x=1; t2 reads x
+  // and overwrites x=2; t4 reads x from t2 and writes y; t3 reads y from
+  // t4 but the *old* x from t1.
+  Suite.push_back({"fig3-causality-violation",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()                // t1
+                       .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit() // t2
+                       .txn(3, 0).r(X, uid(1, 0)).w(Y, 1).commit() // t4
+                       .txn(2, 0).r(X, uid(0, 0)).r(Y, uid(3, 0))
+                       .commit()                                  // t3
+                       .build(),
+                   true, true, false, false, false});
+
+  // Long fork: two observers disagree on the order of independent writes.
+  Suite.push_back({"long-fork",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(1, 0).w(Y, 1).commit()
+                       .txn(2, 0).r(X, uid(0, 0)).r(Y, TxnUid::init())
+                       .commit()
+                       .txn(3, 0).r(Y, uid(1, 0)).r(X, TxnUid::init())
+                       .commit()
+                       .build(),
+                   true, true, true, false, false});
+
+  // Lost update: two read-modify-writes of x both from init. The Conflict
+  // axiom (first-committer-wins) rejects it under SI; CC tolerates it.
+  Suite.push_back({"lost-update",
+                   LitmusBuilder(1)
+                       .txn(0, 0).r(X, TxnUid::init()).w(X, 1).commit()
+                       .txn(1, 0).r(X, TxnUid::init()).w(X, 2).commit()
+                       .build(),
+                   true, true, true, false, false});
+
+  // Write skew: disjoint writes from a common snapshot. SI allows it;
+  // SER does not.
+  Suite.push_back({"write-skew",
+                   LitmusBuilder(2)
+                       .txn(0, 0).r(X, TxnUid::init()).w(Y, 1).commit()
+                       .txn(1, 0).r(Y, TxnUid::init()).w(X, 1).commit()
+                       .build(),
+                   true, true, true, true, false});
+
+  // Fekete et al.'s read-only transaction anomaly: t1 and t2 run from
+  // the initial snapshot (no write-write conflict: t1 writes y, t2
+  // writes x); the read-only t3 sees t2's deposit but not t1's
+  // withdrawal. SI admits it, SER does not: t1 < t2 (t1 missed x),
+  // t2 < t3 (t3 saw x), t3 < t1 (t3 missed y) is a cycle.
+  Suite.push_back({"read-only-txn-anomaly",
+                   LitmusBuilder(2)
+                       .txn(0, 0).r(X, TxnUid::init()).r(Y, TxnUid::init())
+                       .w(Y, -11).commit()
+                       .txn(1, 0).r(X, TxnUid::init()).w(X, 20).commit()
+                       .txn(2, 0).r(X, uid(1, 0)).r(Y, TxnUid::init())
+                       .commit()
+                       .build(),
+                   true, true, true, true, false});
+
+  // Fig. 6 of the paper (with the blue write(x,2) present): write skew on
+  // x/y plus a write-write conflict on z. Still CC; neither SI nor SER.
+  Suite.push_back({"fig6-si-counterexample",
+                   LitmusBuilder(3)
+                       .txn(0, 0).w(Z, 1).r(X, TxnUid::init()).w(Y, 1)
+                       .commit()
+                       .txn(1, 0).w(Z, 2).r(Y, TxnUid::init()).w(X, 2)
+                       .commit()
+                       .build(),
+                   true, true, true, false, false});
+
+  // Fig. 6 without the last write: one side no longer writes x, so this
+  // is only a z-conflict with one-directional visibility; SI and SER hold.
+  Suite.push_back({"fig6-prefix-consistent",
+                   LitmusBuilder(3)
+                       .txn(0, 0).w(Z, 1).r(X, TxnUid::init()).w(Y, 1)
+                       .commit()
+                       .txn(1, 0).w(Z, 2).r(Y, TxnUid::init()).commit()
+                       .build(),
+                   true, true, true, true, true});
+
+  // Aborted transactions are invisible: reading init past an aborted
+  // overwrite is consistent everywhere.
+  Suite.push_back({"aborted-writer-invisible",
+                   LitmusBuilder(1)
+                       .txn(0, 0).w(X, 9).abort()
+                       .txn(1, 0).r(X, TxnUid::init()).commit()
+                       .build(),
+                   true, true, true, true, true});
+
+  // Session-order flavored stale read: a session overwrites x then its
+  // *own* later transaction reads the initial value. RC's axiom only has
+  // the wr ∘ po premise — no session guarantees — so RC tolerates it;
+  // RA's so ∪ wr premise rejects it.
+  Suite.push_back({"session-stale-read",
+                   LitmusBuilder(1)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(0, 1).r(X, TxnUid::init()).commit()
+                       .build(),
+                   true, false, false, false, false});
+
+  // Monotonic-writes violation: a session writes x then y; an observer
+  // sees the later write but misses the earlier one. The causal
+  // composition so;wr separates CC from RA.
+  Suite.push_back({"monotonic-writes-violation",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(0, 1).w(Y, 1).commit()
+                       .txn(1, 0).r(Y, uid(0, 1)).r(X, TxnUid::init())
+                       .commit()
+                       .build(),
+                   true, true, false, false, false});
+
+  // Monotonic-reads violation: a session observes x = 1 and later its
+  // own next transaction observes the initial value again. The writer is
+  // related to the second reader only through wr ; so — a *composed*
+  // path — so even RA tolerates it; CC does not.
+  Suite.push_back({"monotonic-reads-violation",
+                   LitmusBuilder(1)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(1, 0).r(X, uid(0, 0)).commit()
+                       .txn(1, 1).r(X, TxnUid::init()).commit()
+                       .build(),
+                   true, true, false, false, false});
+
+  // Writes-follow-reads violation: t observes x = 1 and writes y; an
+  // observer sees y but reads the initial x.
+  Suite.push_back({"writes-follow-reads-violation",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(1, 0).r(X, uid(0, 0)).w(Y, 1).commit()
+                       .txn(2, 0).r(Y, uid(1, 0)).r(X, TxnUid::init())
+                       .commit()
+                       .build(),
+                   true, true, false, false, false});
+
+  // Two aborted transactions racing a committed one: aborted writes are
+  // invisible, so any read of theirs is impossible and the rest is
+  // serial.
+  Suite.push_back({"aborted-race",
+                   LitmusBuilder(2)
+                       .txn(0, 0).r(X, TxnUid::init()).w(X, 1).abort()
+                       .txn(1, 0).r(X, TxnUid::init()).w(X, 2).abort()
+                       .txn(2, 0).r(X, TxnUid::init()).w(Y, 1).commit()
+                       .build(),
+                   true, true, true, true, true});
+
+  // Causal chain respected: reading through a wr-so chain is fine at CC
+  // but the middle write is skipped — still fine because the newest write
+  // is what is read.
+  Suite.push_back({"causal-chain-ok",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(0, 1).w(X, 2).commit()
+                       .txn(1, 0).r(X, uid(0, 1)).commit()
+                       .build(),
+                   true, true, true, true, true});
+
+  // Reading the older write of a session whose newer write is causally
+  // known: CC violation (so-ordering of the writes).
+  Suite.push_back({"causal-stale-read",
+                   LitmusBuilder(2)
+                       .txn(0, 0).w(X, 1).commit()
+                       .txn(0, 1).w(X, 2).w(Y, 1).commit()
+                       .txn(1, 0).r(Y, uid(0, 1)).r(X, uid(0, 0)).commit()
+                       .build(),
+                   false, false, false, false, false});
+  return Suite;
+}
+
+class LitmusTest : public ::testing::TestWithParam<IsolationLevel> {};
+
+} // namespace
+
+TEST_P(LitmusTest, ProductionCheckerMatchesExpectation) {
+  IsolationLevel Level = GetParam();
+  for (const Litmus &L : makeLitmusSuite()) {
+    bool Expected = true;
+    switch (Level) {
+    case IsolationLevel::Trivial:
+      Expected = true;
+      break;
+    case IsolationLevel::ReadCommitted:
+      Expected = L.Rc;
+      break;
+    case IsolationLevel::ReadAtomic:
+      Expected = L.Ra;
+      break;
+    case IsolationLevel::CausalConsistency:
+      Expected = L.Cc;
+      break;
+    case IsolationLevel::SnapshotIsolation:
+      Expected = L.Si;
+      break;
+    case IsolationLevel::Serializability:
+      Expected = L.Ser;
+      break;
+    }
+    EXPECT_EQ(isConsistent(L.H, Level), Expected)
+        << L.Name << " under " << isolationLevelName(Level) << "\n"
+        << L.H.str();
+  }
+}
+
+TEST_P(LitmusTest, BruteForceOracleAgrees) {
+  IsolationLevel Level = GetParam();
+  BruteForceChecker Oracle(Level);
+  for (const Litmus &L : makeLitmusSuite())
+    EXPECT_EQ(Oracle.isConsistent(L.H), isConsistent(L.H, Level))
+        << L.Name << " under " << isolationLevelName(Level);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LitmusTest,
+                         ::testing::ValuesIn(AllIsolationLevels.begin(),
+                                             AllIsolationLevels.end()),
+                         [](const auto &Info) {
+                           return std::string(
+                               isolationLevelName(Info.param));
+                         });
+
+TEST(LitmusHierarchyTest, LevelChainIsMonotone) {
+  // Every litmus expectation must respect the strength chain: if a level
+  // accepts, all weaker levels accept.
+  for (const Litmus &L : makeLitmusSuite()) {
+    bool Flags[5] = {L.Rc, L.Ra, L.Cc, L.Si, L.Ser};
+    for (int I = 4; I > 0; --I)
+      EXPECT_LE(Flags[I], Flags[I - 1])
+          << L.Name << ": expectation table itself violates the hierarchy";
+  }
+}
+
+TEST(LitmusHierarchyTest, CheckersAreMonotoneOnLitmusSuite) {
+  // If a stronger level accepts a history, every weaker level must too
+  // (Def. 2.2 hierarchy). Iterate strongest-first and compare neighbors.
+  for (const Litmus &L : makeLitmusSuite()) {
+    bool StrongerAccepted = false;
+    for (auto It = AllIsolationLevels.rbegin();
+         It != AllIsolationLevels.rend(); ++It) {
+      bool Cur = isConsistent(L.H, *It);
+      if (StrongerAccepted) {
+        EXPECT_TRUE(Cur) << L.Name << " at " << isolationLevelName(*It);
+      }
+      StrongerAccepted = Cur;
+    }
+  }
+}

@@ -1,0 +1,234 @@
+//===- tests/consistency_random_test.cpp - Checker cross-validation -------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over random histories:
+///  * every production checker agrees with the brute-force Def. 2.2
+///    oracle (axioms evaluated over enumerated commit orders);
+///  * consistency is monotone along the level chain;
+///  * all five levels are prefix-closed (Theorem 3.2) — every downward
+///    closed cut of a consistent history stays consistent;
+///  * RC / RA / CC are causally extensible (Theorem 3.4) on histories
+///    with one pending (so ∪ wr)+-maximal transaction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "consistency/BruteForceChecker.h"
+#include "consistency/ConsistencyChecker.h"
+#include "history/Prefix.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+struct SweepParams {
+  unsigned Sessions;
+  unsigned TxnsPerSession;
+  unsigned Vars;
+  friend std::ostream &operator<<(std::ostream &OS, const SweepParams &P) {
+    return OS << P.Sessions << "s" << P.TxnsPerSession << "t" << P.Vars
+              << "v";
+  }
+};
+
+class RandomHistoryTest : public ::testing::TestWithParam<SweepParams> {
+protected:
+  RandomHistorySpec spec() const {
+    RandomHistorySpec S;
+    S.NumSessions = GetParam().Sessions;
+    S.TxnsPerSession = GetParam().TxnsPerSession;
+    S.NumVars = GetParam().Vars;
+    return S;
+  }
+};
+
+} // namespace
+
+TEST_P(RandomHistoryTest, ProductionMatchesBruteForce) {
+  Rng R(GetParam().Sessions * 1000 + GetParam().TxnsPerSession * 10 +
+        GetParam().Vars);
+  RandomHistorySpec Spec = spec();
+  for (unsigned Iter = 0; Iter != 60; ++Iter) {
+    History H = makeRandomHistory(R, Spec);
+    for (IsolationLevel Level : AllIsolationLevels) {
+      BruteForceChecker Oracle(Level);
+      EXPECT_EQ(isConsistent(H, Level), Oracle.isConsistent(H))
+          << "level " << isolationLevelName(Level) << " on\n"
+          << H.str();
+    }
+  }
+}
+
+TEST_P(RandomHistoryTest, ConsistencyMonotoneAlongChain) {
+  Rng R(77 + GetParam().Sessions + GetParam().Vars * 13);
+  RandomHistorySpec Spec = spec();
+  for (unsigned Iter = 0; Iter != 80; ++Iter) {
+    History H = makeRandomHistory(R, Spec);
+    bool StrongerAccepted = false;
+    for (auto It = AllIsolationLevels.rbegin();
+         It != AllIsolationLevels.rend(); ++It) {
+      bool Cur = isConsistent(H, *It);
+      if (StrongerAccepted) {
+        EXPECT_TRUE(Cur) << isolationLevelName(*It) << " rejected while a "
+                         << "stronger level accepted:\n"
+                         << H.str();
+      }
+      StrongerAccepted = Cur;
+    }
+  }
+}
+
+TEST_P(RandomHistoryTest, PrefixClosure) {
+  // Theorem 3.2: all five levels are prefix-closed.
+  Rng R(4242 + GetParam().TxnsPerSession);
+  RandomHistorySpec Spec = spec();
+  for (unsigned Iter = 0; Iter != 40; ++Iter) {
+    History H = makeRandomHistory(R, Spec);
+    // Random downward-closed cut.
+    PrefixCut Cut;
+    for (unsigned I = 0; I != H.numTxns(); ++I)
+      Cut.push_back(static_cast<uint32_t>(R.nextBelow(H.txn(I).size() + 1)));
+    Cut[0] = static_cast<uint32_t>(H.txn(0).size()); // Keep init whole.
+    closeDownward(H, Cut);
+    History P = takePrefix(H, Cut);
+    P.checkWellFormed();
+    for (IsolationLevel Level : AllIsolationLevels) {
+      if (!isConsistent(H, Level))
+        continue;
+      EXPECT_TRUE(isConsistent(P, Level))
+          << "prefix broke " << isolationLevelName(Level) << "\nfull:\n"
+          << H.str() << "prefix:\n"
+          << P.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomHistoryTest,
+    ::testing::Values(SweepParams{1, 3, 2}, SweepParams{2, 2, 2},
+                      SweepParams{3, 1, 2}, SweepParams{2, 2, 3},
+                      SweepParams{3, 2, 2}, SweepParams{2, 3, 1},
+                      SweepParams{4, 1, 2}, SweepParams{2, 4, 2}),
+    [](const auto &Info) {
+      return std::to_string(Info.param.Sessions) + "s" +
+             std::to_string(Info.param.TxnsPerSession) + "t" +
+             std::to_string(Info.param.Vars) + "v";
+    });
+
+namespace {
+
+/// Builds a random consistent history with one pending transaction that is
+/// (so ∪ wr)+-maximal, by chopping the last block of a consistent history.
+std::optional<History> makeMaximalPendingHistory(Rng &R,
+                                                 const RandomHistorySpec &Spec,
+                                                 IsolationLevel Level) {
+  for (unsigned Attempt = 0; Attempt != 50; ++Attempt) {
+    History H = makeRandomHistory(R, Spec);
+    if (!isConsistent(H, Level))
+      continue;
+    unsigned Last = H.numTxns() - 1;
+    if (H.txn(Last).size() < 2)
+      continue;
+    // Drop the commit/abort (and possibly more) from the last block; the
+    // last block is trivially (so ∪ wr)+-maximal.
+    PrefixCut Cut;
+    for (unsigned I = 0; I != H.numTxns(); ++I)
+      Cut.push_back(static_cast<uint32_t>(H.txn(I).size()));
+    Cut[Last] =
+        1 + static_cast<uint32_t>(R.nextBelow(H.txn(Last).size() - 1));
+    if (!isDownwardClosed(H, Cut))
+      continue;
+    History P = takePrefix(H, Cut);
+    if (!isConsistent(P, Level)) // Prefix closure should make this rare.
+      continue;
+    return P;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+TEST(CausalExtensibilityTest, WeakLevelsAlwaysExtend) {
+  // Theorem 3.4: for RC / RA / CC, a (so ∪ wr)+-maximal pending
+  // transaction extends with *any* event while preserving consistency —
+  // for reads, from some causal predecessor (init qualifies).
+  const IsolationLevel Weak[] = {IsolationLevel::ReadCommitted,
+                                 IsolationLevel::ReadAtomic,
+                                 IsolationLevel::CausalConsistency};
+  Rng R(90210);
+  RandomHistorySpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 2;
+  for (IsolationLevel Level : Weak) {
+    unsigned Tested = 0;
+    for (unsigned Iter = 0; Iter != 25; ++Iter) {
+      std::optional<History> P = makeMaximalPendingHistory(R, Spec, Level);
+      if (!P)
+        continue;
+      ++Tested;
+      std::optional<unsigned> Pending = P->pendingTxn();
+      ASSERT_TRUE(Pending.has_value());
+
+      // Extension with a write is unique and must stay consistent.
+      {
+        History Ext = *P;
+        Ext.appendEvent(*Pending, Event::makeWrite(0, 99));
+        EXPECT_TRUE(isConsistent(Ext, Level))
+            << "write extension broke " << isolationLevelName(Level) << "\n"
+            << P->str();
+      }
+      // Extension with a read: some causal predecessor must work.
+      {
+        History Ext = *P;
+        Ext.appendEvent(*Pending, Event::makeRead(0));
+        uint32_t Pos = static_cast<uint32_t>(Ext.txn(*Pending).size()) - 1;
+        if (Ext.txn(*Pending).isExternalRead(Pos)) {
+          Relation Causal = Ext.causalRelation();
+          bool AnyConsistent = false;
+          for (unsigned W = 0; W != Ext.numTxns() && !AnyConsistent; ++W) {
+            if (W == *Pending || !Ext.txn(W).writesVar(0))
+              continue;
+            if (!Causal.get(W, *Pending))
+              continue;
+            Ext.setWriter(*Pending, Pos, Ext.txn(W).uid());
+            AnyConsistent = isConsistent(Ext, Level);
+          }
+          EXPECT_TRUE(AnyConsistent)
+              << "no causal read extension under "
+              << isolationLevelName(Level) << "\n"
+              << P->str();
+        }
+      }
+    }
+    EXPECT_GT(Tested, 5u) << "generator failed to produce test cases";
+  }
+}
+
+TEST(CausalExtensibilityTest, Fig6ShowsSiSerNotExtensible) {
+  // The paper's Fig. 6: h (without write(x,2)) is SI- and SER-consistent,
+  // but its unique causal extension with write(x,2) is not — witnessing
+  // Theorem 3.4's negative half.
+  constexpr VarId X = 0, Y = 1, Z = 2;
+  History H = LitmusBuilder(3)
+                  .txn(0, 0).w(Z, 1).r(X, TxnUid::init()).w(Y, 1).commit()
+                  .txn(1, 0).w(Z, 2).r(Y, TxnUid::init()).build();
+  EXPECT_TRUE(isConsistent(H, IsolationLevel::SnapshotIsolation));
+  EXPECT_TRUE(isConsistent(H, IsolationLevel::Serializability));
+
+  std::optional<unsigned> Pending = H.pendingTxn();
+  ASSERT_TRUE(Pending.has_value());
+  History Ext = H;
+  Ext.appendEvent(*Pending, Event::makeWrite(X, 2));
+  EXPECT_FALSE(isConsistent(Ext, IsolationLevel::SnapshotIsolation));
+  EXPECT_FALSE(isConsistent(Ext, IsolationLevel::Serializability));
+  EXPECT_TRUE(isConsistent(Ext, IsolationLevel::CausalConsistency));
+}

@@ -1,0 +1,84 @@
+//===- tests/dot_test.cpp - Graphviz export tests -------------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Dot.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+
+History makeSample() {
+  return LitmusBuilder(2)
+      .txn(0, 0).w(X, 1).w(Y, 2).commit()
+      .txn(0, 1).r(X, uid(0, 0)).commit()
+      .txn(1, 0).r(Y, uid(0, 0)).commit()
+      .build();
+}
+} // namespace
+
+TEST(DotTest, ContainsClustersPerTransaction) {
+  std::string Dot = renderDot(makeSample());
+  EXPECT_NE(Dot.find("digraph history"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_init"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_t0.0"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_t0.1"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_t1.0"), std::string::npos);
+}
+
+TEST(DotTest, ContainsEventLabels) {
+  std::string Dot = renderDot(makeSample());
+  EXPECT_NE(Dot.find("write(x0,1)"), std::string::npos);
+  EXPECT_NE(Dot.find("write(x1,2)"), std::string::npos);
+  EXPECT_NE(Dot.find("read(x0)"), std::string::npos);
+  EXPECT_NE(Dot.find("commit"), std::string::npos);
+}
+
+TEST(DotTest, ContainsWrEdges) {
+  std::string Dot = renderDot(makeSample());
+  EXPECT_NE(Dot.find("wr(x0)"), std::string::npos);
+  EXPECT_NE(Dot.find("wr(x1)"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, ContainsImmediateSoEdgesOnly) {
+  // Session 0 has two transactions: one so edge between them; the init
+  // edges are omitted by default.
+  std::string Dot = renderDot(makeSample());
+  EXPECT_NE(Dot.find("label=\"so\""), std::string::npos);
+  EXPECT_EQ(Dot.find("\"init/0\" -> \"t0.0/0\""), std::string::npos);
+}
+
+TEST(DotTest, InitEdgesWhenRequested) {
+  DotOptions Options;
+  Options.OmitInitEdges = false;
+  std::string Dot = renderDot(makeSample(), Options);
+  EXPECT_NE(Dot.find("\"init/0\" -> \"t0.0/0\""), std::string::npos);
+}
+
+TEST(DotTest, UsesVarNameResolver) {
+  VarNameFn Names = [](VarId V) {
+    return V == X ? std::string("balance") : std::string("audit");
+  };
+  DotOptions Options;
+  Options.VarNames = &Names;
+  std::string Dot = renderDot(makeSample(), Options);
+  EXPECT_NE(Dot.find("write(balance,1)"), std::string::npos);
+  EXPECT_NE(Dot.find("wr(audit)"), std::string::npos);
+  EXPECT_EQ(Dot.find("x0"), std::string::npos);
+}
+
+TEST(DotTest, AbortedTransactionRendered) {
+  History H = LitmusBuilder(1).txn(0, 0).w(X, 1).abort().build();
+  std::string Dot = renderDot(H);
+  EXPECT_NE(Dot.find("abort"), std::string::npos);
+}

@@ -1,0 +1,211 @@
+//===- tests/explain_test.cpp - Violation explanation tests ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/Explain.h"
+
+#include "history/Prefix.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+} // namespace
+
+TEST(FindCycleTest, AcyclicReturnsEmpty) {
+  Relation G(4);
+  G.set(0, 1);
+  G.set(1, 2);
+  EXPECT_TRUE(findCycle(G).empty());
+}
+
+TEST(FindCycleTest, FindsSimpleCycle) {
+  Relation G(4);
+  G.set(0, 1);
+  G.set(1, 2);
+  G.set(2, 1);
+  std::vector<unsigned> Cycle = findCycle(G);
+  ASSERT_EQ(Cycle.size(), 2u);
+  // The cycle must actually be a cycle in G.
+  for (size_t I = 0; I != Cycle.size(); ++I)
+    EXPECT_TRUE(G.get(Cycle[I], Cycle[(I + 1) % Cycle.size()]));
+}
+
+TEST(FindCycleTest, FindsSelfLoop) {
+  Relation G(3);
+  G.set(2, 2);
+  std::vector<unsigned> Cycle = findCycle(G);
+  ASSERT_EQ(Cycle.size(), 1u);
+  EXPECT_EQ(Cycle[0], 2u);
+}
+
+TEST(ExplainTest, ConsistentHistoryHasNoCycle) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  ViolationExplanation E =
+      explainViolation(H, IsolationLevel::CausalConsistency);
+  EXPECT_TRUE(E.Consistent);
+  EXPECT_TRUE(E.Cycle.empty());
+  EXPECT_NE(E.Text.find("satisfies"), std::string::npos);
+}
+
+TEST(ExplainTest, Fig3CausalityViolationCycle) {
+  // Fig. 3: the CC cycle runs through the axiom edge (t2 before t1) and
+  // the wr edge (t1 before t2).
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit()
+                  .txn(3, 0).r(X, uid(1, 0)).w(Y, 1).commit()
+                  .txn(2, 0).r(X, uid(0, 0)).r(Y, uid(3, 0)).commit()
+                  .build();
+  ViolationExplanation E =
+      explainViolation(H, IsolationLevel::CausalConsistency);
+  ASSERT_FALSE(E.Consistent);
+  ASSERT_GE(E.Cycle.size(), 2u);
+  // Validate that the cycle edges are real constraint-graph edges and at
+  // least one of them is an axiom instance over x.
+  bool SawAxiomEdge = false;
+  for (const ConstraintEdge &Edge : E.Cycle)
+    if (Edge.EdgeKind == ConstraintEdge::Kind::Axiom) {
+      SawAxiomEdge = true;
+      EXPECT_EQ(Edge.Var, X);
+    }
+  EXPECT_TRUE(SawAxiomEdge);
+  EXPECT_NE(E.Text.find("violates CC"), std::string::npos);
+}
+
+TEST(ExplainTest, SessionStaleReadUnderRa) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(0, 1).r(X, TxnUid::init()).commit()
+                  .build();
+  ViolationExplanation E = explainViolation(H, IsolationLevel::ReadAtomic);
+  ASSERT_FALSE(E.Consistent);
+  // Cycle: init -> t0.0 (so), t0.0 -> init (axiom: reader sees init while
+  // t0.0 writes x and directly precedes the reader).
+  EXPECT_EQ(E.Cycle.size(), 2u);
+}
+
+TEST(ExplainTest, SerViolationFallsBackToSearchReport) {
+  // Write skew is consistent at CC (no saturation cycle), so the SER
+  // explanation reports the exhausted search.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).r(X, TxnUid::init()).w(Y, 1).commit()
+                  .txn(1, 0).r(Y, TxnUid::init()).w(X, 1).commit()
+                  .build();
+  ViolationExplanation E =
+      explainViolation(H, IsolationLevel::Serializability);
+  ASSERT_FALSE(E.Consistent);
+  EXPECT_TRUE(E.Cycle.empty());
+  EXPECT_NE(E.Text.find("search exhausted"), std::string::npos);
+}
+
+TEST(ExplainTest, SerViolationReusesWeakerCycle) {
+  // Fig. 3 also violates CC, so the SER explanation can reuse its cycle.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit()
+                  .txn(3, 0).r(X, uid(1, 0)).w(Y, 1).commit()
+                  .txn(2, 0).r(X, uid(0, 0)).r(Y, uid(3, 0)).commit()
+                  .build();
+  ViolationExplanation E =
+      explainViolation(H, IsolationLevel::Serializability);
+  ASSERT_FALSE(E.Consistent);
+  EXPECT_FALSE(E.Cycle.empty());
+  EXPECT_NE(E.Text.find("already at"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplanationAgreesWithCheckerOnRandomHistories) {
+  Rng R(2024);
+  RandomHistorySpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 2;
+  for (unsigned Iter = 0; Iter != 50; ++Iter) {
+    History H = makeRandomHistory(R, Spec);
+    for (IsolationLevel Level :
+         {IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic,
+          IsolationLevel::CausalConsistency}) {
+      ViolationExplanation E = explainViolation(H, Level);
+      EXPECT_EQ(E.Consistent, isConsistent(H, Level))
+          << isolationLevelName(Level) << "\n"
+          << H.str();
+      if (!E.Consistent) {
+        ASSERT_FALSE(E.Cycle.empty());
+        // Each consecutive pair of cycle edges must chain.
+        for (size_t I = 0; I != E.Cycle.size(); ++I)
+          EXPECT_EQ(E.Cycle[I].To,
+                    E.Cycle[(I + 1) % E.Cycle.size()].From);
+      }
+    }
+  }
+}
+
+TEST(MinimizeTest, KeepsOnlyTheAnomalyCore) {
+  // Fig. 3 violation plus two irrelevant bystander transactions on z.
+  constexpr VarId Z = 2;
+  History H = LitmusBuilder(3)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(X, 2).commit()
+                  .txn(4, 0).w(Z, 7).commit()                 // bystander
+                  .txn(3, 0).r(X, uid(1, 0)).w(Y, 1).commit()
+                  .txn(5, 0).r(Z, uid(4, 0)).commit()         // bystander
+                  .txn(2, 0).r(X, uid(0, 0)).r(Y, uid(3, 0)).commit()
+                  .build();
+  ASSERT_FALSE(isConsistent(H, IsolationLevel::CausalConsistency));
+  History Core = minimizeViolation(H, IsolationLevel::CausalConsistency);
+  EXPECT_FALSE(isConsistent(Core, IsolationLevel::CausalConsistency));
+  EXPECT_FALSE(Core.contains(uid(4, 0))) << "bystander writer kept";
+  EXPECT_FALSE(Core.contains(uid(5, 0))) << "bystander reader kept";
+  // The four Fig. 3 transactions are all necessary.
+  EXPECT_EQ(Core.numTxns(), 5u) << Core.str();
+  Core.checkWellFormed();
+}
+
+TEST(MinimizeTest, MinimalCoreIsLocallyMinimal) {
+  // Removing any further transaction from the core must restore
+  // consistency.
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).r(X, TxnUid::init()).w(X, 1).commit()
+                  .txn(1, 0).r(X, TxnUid::init()).w(X, 2).commit()
+                  .build();
+  ASSERT_FALSE(isConsistent(H, IsolationLevel::SnapshotIsolation));
+  History Core = minimizeViolation(H, IsolationLevel::SnapshotIsolation);
+  EXPECT_EQ(Core.numTxns(), 3u) << "both RMWs are needed for lost update";
+  for (unsigned I = 1; I != Core.numTxns(); ++I) {
+    PrefixCut Cut;
+    for (unsigned J = 0; J != Core.numTxns(); ++J)
+      Cut.push_back(static_cast<uint32_t>(Core.txn(J).size()));
+    Cut[I] = 0;
+    closeDownward(Core, Cut);
+    EXPECT_TRUE(isConsistent(takePrefix(Core, Cut),
+                             IsolationLevel::SnapshotIsolation));
+  }
+}
+
+TEST(ExplainTest, DescribeRendersProse) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(0, 1).r(X, TxnUid::init()).commit()
+                  .build();
+  std::vector<ConstraintEdge> Edges;
+  constraintGraphWithReasons(H, IsolationLevel::ReadAtomic, Edges);
+  bool SawSo = false, SawAxiom = false;
+  for (const ConstraintEdge &E : Edges) {
+    std::string Text = E.describe(H, nullptr);
+    EXPECT_FALSE(Text.empty());
+    SawSo |= E.EdgeKind == ConstraintEdge::Kind::SessionOrder;
+    SawAxiom |= E.EdgeKind == ConstraintEdge::Kind::Axiom;
+  }
+  EXPECT_TRUE(SawSo);
+  EXPECT_TRUE(SawAxiom);
+}

@@ -1,0 +1,387 @@
+//===- tests/explorer_basic_test.cpp - Hand-verified explorations ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end explorer runs on programs small enough to count histories by
+/// hand. Each test pins the exact number of read-from equivalence classes
+/// under each isolation level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+
+#include "consistency/ConsistencyChecker.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+
+namespace {
+
+/// s0: write(x, 1) || s1: a := read(x)
+Program makeWriterReader() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(1).read("a", X);
+  return B.build();
+}
+
+/// Fig. 10a: s0: [a := read(x); b := read(y)] || s1: [write(x,2);
+/// write(y,2)].
+Program makeFig10() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.read("b", Y);
+  auto T1 = B.beginTxn(1);
+  T1.write(X, 2);
+  T1.write(Y, 2);
+  return B.build();
+}
+
+/// Write skew: s0: [a := read(x); write(y,1)] || s1: [b := read(y);
+/// write(x,1)].
+Program makeWriteSkew() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.write(Y, 1);
+  auto T1 = B.beginTxn(1);
+  T1.read("b", Y);
+  T1.write(X, 1);
+  return B.build();
+}
+
+/// Appendix D (Fig. D.1a), first three instructions of each transaction:
+/// s0: [a := read(x); write(z,1); write(y,1)] ||
+/// s1: [b := read(y); write(z,2); write(x,2)].
+Program makeAppendixD() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  VarId Z = B.var("z");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.write(Z, 1);
+  T0.write(Y, 1);
+  auto T1 = B.beginTxn(1);
+  T1.read("b", Y);
+  T1.write(Z, 2);
+  T1.write(X, 2);
+  return B.build();
+}
+
+void expectAllDistinct(const std::vector<History> &Hs) {
+  auto Counts = countByCanonicalKey(Hs);
+  for (const auto &[Key, N] : Counts)
+    EXPECT_EQ(N, 1u) << "duplicate history:\n" << Key;
+  EXPECT_EQ(Counts.size(), Hs.size());
+}
+
+void expectAllConsistent(const std::vector<History> &Hs,
+                         IsolationLevel Level) {
+  for (const History &H : Hs)
+    EXPECT_TRUE(isConsistent(H, Level))
+        << "unsound output under " << isolationLevelName(Level) << ":\n"
+        << H.str();
+}
+
+} // namespace
+
+TEST(ExplorerBasicTest, WriterReaderUnderCC) {
+  Program P = makeWriterReader();
+  auto [Hs, Stats] = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(Hs.size(), 2u) << "read from init or from the writer";
+  expectAllDistinct(Hs);
+  expectAllConsistent(Hs, IsolationLevel::CausalConsistency);
+  EXPECT_EQ(Stats.Outputs, 2u);
+  EXPECT_EQ(Stats.EndStates, 2u);
+  EXPECT_EQ(Stats.BlockedReads, 0u);
+  EXPECT_FALSE(Stats.TimedOut);
+}
+
+TEST(ExplorerBasicTest, Fig10CountsPerLevel) {
+  Program P = makeFig10();
+  // Under CC both reads must agree on observing s1 or not: 2 histories.
+  auto CC = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(CC.Histories.size(), 2u);
+  expectAllDistinct(CC.Histories);
+  expectAllConsistent(CC.Histories, IsolationLevel::CausalConsistency);
+
+  // Under RC the (x from init, y from s1) mix is additionally allowed —
+  // but not the "non-monotonic" (x from s1, y from init): 3 histories.
+  auto RC = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::ReadCommitted));
+  EXPECT_EQ(RC.Histories.size(), 3u);
+  expectAllDistinct(RC.Histories);
+  expectAllConsistent(RC.Histories, IsolationLevel::ReadCommitted);
+
+  // The trivial level allows all four combinations.
+  auto True = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::Trivial));
+  EXPECT_EQ(True.Histories.size(), 4u);
+  expectAllDistinct(True.Histories);
+}
+
+TEST(ExplorerBasicTest, WriteSkewCountsPerLevel) {
+  Program P = makeWriteSkew();
+  // CC: (init,init), (init,t0), (t1,init) — the double-swap would create
+  // a wr cycle and is not a history at all.
+  auto CC = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(CC.Histories.size(), 3u);
+  expectAllDistinct(CC.Histories);
+
+  // SI keeps all three (write skew is SI-consistent).
+  auto SI = enumerateHistories(
+      P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                       IsolationLevel::SnapshotIsolation));
+  EXPECT_EQ(SI.Histories.size(), 3u);
+  EXPECT_EQ(SI.Stats.EndStates, 3u);
+  expectAllConsistent(SI.Histories, IsolationLevel::SnapshotIsolation);
+
+  // SER rejects the both-read-initial execution.
+  auto SER = enumerateHistories(
+      P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                       IsolationLevel::Serializability));
+  EXPECT_EQ(SER.Histories.size(), 2u);
+  EXPECT_EQ(SER.Stats.EndStates, 3u)
+      << "explore-ce* explores the base level's end states";
+  expectAllConsistent(SER.Histories, IsolationLevel::Serializability);
+}
+
+TEST(ExplorerBasicTest, AppendixDCountsPerLevel) {
+  Program P = makeAppendixD();
+  auto CC = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(CC.Histories.size(), 3u);
+
+  // The z write-write conflict makes the both-stale execution violate SI
+  // as well (Fig. 6 / Theorem 6.1 setup).
+  auto SI = enumerateHistories(
+      P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                       IsolationLevel::SnapshotIsolation));
+  EXPECT_EQ(SI.Histories.size(), 2u);
+  auto SER = enumerateHistories(
+      P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                       IsolationLevel::Serializability));
+  EXPECT_EQ(SER.Histories.size(), 2u);
+}
+
+TEST(ExplorerBasicTest, SingleSessionReadYourWrites) {
+  // One session, two transactions: write x then read x. RA and CC force
+  // the session's own write to be observed (one history); RC and the
+  // trivial level have no session guarantees and also admit the stale
+  // read from init (two histories).
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  Program P = B.build();
+  for (IsolationLevel Level :
+       {IsolationLevel::ReadAtomic, IsolationLevel::CausalConsistency}) {
+    auto R = enumerateHistories(P, ExplorerConfig::exploreCE(Level));
+    ASSERT_EQ(R.Histories.size(), 1u) << isolationLevelName(Level);
+    unsigned Reader = *R.Histories[0].indexOf({0, 1});
+    EXPECT_EQ(R.Histories[0].readValue(Reader, 1), 1);
+  }
+  for (IsolationLevel Level :
+       {IsolationLevel::Trivial, IsolationLevel::ReadCommitted}) {
+    auto R = enumerateHistories(P, ExplorerConfig::exploreCE(Level));
+    EXPECT_EQ(R.Histories.size(), 2u) << isolationLevelName(Level);
+  }
+}
+
+TEST(ExplorerBasicTest, EmptyProgram) {
+  ProgramBuilder B;
+  B.var("x");
+  Program P = B.build();
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(R.Histories.size(), 1u) << "the empty execution";
+  EXPECT_EQ(R.Histories[0].numTxns(), 1u) << "just the initial transaction";
+}
+
+TEST(ExplorerBasicTest, AbortingTransactionsExplored) {
+  // s0: [a := read(x); if (a == 0) abort; write(y, a)] || s1: write(x, 5).
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.abort(eq(T0.local("a"), 0));
+  T0.write(Y, T0.local("a"));
+  B.beginTxn(1).write(X, 5);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  // Read from init → abort; read from s1 → write y=5. Two histories.
+  ASSERT_EQ(R.Histories.size(), 2u);
+  unsigned Aborts = 0, Writes = 0;
+  for (const History &H : R.Histories) {
+    unsigned T = *H.indexOf({0, 0});
+    if (H.txn(T).isAborted())
+      ++Aborts;
+    else if (H.txn(T).writesVar(Y))
+      ++Writes;
+  }
+  EXPECT_EQ(Aborts, 1u);
+  EXPECT_EQ(Writes, 1u);
+}
+
+TEST(ExplorerBasicTest, DataFlowThroughReads) {
+  // s0: [a := read(x); write(y, a + 10)] || s1: write(x, 7).
+  // The y value written depends on the wr choice: 10 or 17.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.write(Y, T0.local("a") + 10);
+  B.beginTxn(1).write(X, 7);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  ASSERT_EQ(R.Histories.size(), 2u);
+  std::vector<Value> YValues;
+  for (const History &H : R.Histories) {
+    unsigned T = *H.indexOf({0, 0});
+    YValues.push_back(*H.txn(T).lastWriteValue(Y));
+  }
+  std::sort(YValues.begin(), YValues.end());
+  EXPECT_EQ(YValues, (std::vector<Value>{10, 17}));
+}
+
+TEST(ExplorerBasicTest, IntermediateWritesNeverVisible) {
+  // Writer transaction writes x = 1 then x = 2; only the last write is in
+  // writes(t) (§2.2.1), so a concurrent reader sees 0 or 2 — never 1.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto W = B.beginTxn(0);
+  W.write(X, 1);
+  W.write(X, 2);
+  B.beginTxn(1).read("a", X);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  ASSERT_EQ(R.Histories.size(), 2u);
+  for (const History &H : R.Histories) {
+    unsigned Reader = *H.indexOf({1, 0});
+    Value Seen = H.readValue(Reader, 1);
+    EXPECT_TRUE(Seen == 0 || Seen == 2) << "intermediate write leaked";
+  }
+}
+
+TEST(ExplorerBasicTest, ReadLocalShadowsConcurrentWriters) {
+  // A transaction that wrote x reads its own value back even with a
+  // concurrent writer: the internal read never branches.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0);
+  T.write(X, 7);
+  T.read("a", X);
+  B.beginTxn(1).write(X, 9);
+  Program P = B.build();
+
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  for (const History &H : R.Histories) {
+    unsigned Reader = *H.indexOf({0, 0});
+    EXPECT_EQ(H.readValue(Reader, 2), 7);
+  }
+  // Only the block order of the two transactions can vary, and block
+  // order is not part of history identity: exactly one history.
+  EXPECT_EQ(R.Histories.size(), 1u);
+}
+
+TEST(ExplorerBasicTest, StatsAccounting) {
+  Program P = makeFig10();
+  ExplorerStats Stats = exploreProgram(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_GT(Stats.ExploreCalls, 0u);
+  EXPECT_GT(Stats.EventsAdded, 0u);
+  EXPECT_GT(Stats.ConsistencyChecks, 0u);
+  EXPECT_EQ(Stats.EndStates, Stats.Outputs) << "explore-ce has no filter";
+  EXPECT_GT(Stats.ElapsedMillis, 0.0);
+  EXPECT_GT(Stats.PeakRssKb, 0u);
+  EXPECT_GE(Stats.SwapsConsidered, Stats.SwapsApplied);
+}
+
+TEST(ExplorerBasicTest, DeadlineAborts) {
+  Program P = makeAppendixD();
+  ExplorerConfig C = ExplorerConfig::exploreCE(
+      IsolationLevel::CausalConsistency);
+  C.TimeBudget = Deadline::afterMillis(0);
+  // The run must terminate promptly and flag the timeout (the budget is
+  // polled, so a few states may still be visited).
+  ExplorerStats Stats = exploreProgram(P, C);
+  EXPECT_TRUE(Stats.TimedOut || Stats.EndStates == 3);
+}
+
+TEST(ExplorerBasicTest, EndStateCapStopsExploration) {
+  Program P = makeAppendixD();
+  ExplorerConfig C = ExplorerConfig::exploreCE(
+      IsolationLevel::CausalConsistency);
+  C.MaxEndStates = 1;
+  ExplorerStats Stats = exploreProgram(P, C);
+  EXPECT_EQ(Stats.EndStates, 1u);
+  EXPECT_TRUE(Stats.HitEndStateCap);
+}
+
+TEST(ExplorerBasicTest, EmptyBodyTransactions) {
+  // A transaction with no instructions is just begin;commit — legal and
+  // behaviorally inert.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0); // Empty body.
+  B.beginTxn(1).read("a", X);
+  Program P = B.build();
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  ASSERT_EQ(R.Histories.size(), 1u);
+  unsigned Empty = *R.Histories[0].indexOf({0, 0});
+  EXPECT_TRUE(R.Histories[0].txn(Empty).isCommitted());
+  EXPECT_EQ(R.Histories[0].txn(Empty).size(), 2u) << "begin + commit";
+}
+
+TEST(ExplorerBasicTest, GapSessions) {
+  // Sessions may be sparse (session 1 empty); exploration skips it.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(2).read("a", X);
+  Program P = B.build();
+  EXPECT_EQ(P.numSessions(), 3u);
+  EXPECT_EQ(P.numTxns(1), 0u);
+  auto R = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_EQ(R.Histories.size(), 2u);
+}
+
+TEST(ExplorerBasicTest, AlgorithmNames) {
+  EXPECT_EQ(ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency)
+                .algorithmName(),
+            "CC");
+  EXPECT_EQ(ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                          IsolationLevel::Serializability)
+                .algorithmName(),
+            "CC + SER");
+  EXPECT_EQ(ExplorerConfig::exploreCEStar(IsolationLevel::Trivial,
+                                          IsolationLevel::CausalConsistency)
+                .algorithmName(),
+            "true + CC");
+}

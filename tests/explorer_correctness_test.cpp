@@ -1,0 +1,266 @@
+//===- tests/explorer_correctness_test.cpp - Thm 5.1 / Cor 6.2 properties -===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central correctness battery: for a family of small programs and
+/// every algorithm instance, verify against the reference enumeration
+/// (deduplicated naive DFS of the operational semantics):
+///
+///   * soundness      — every output history is in hist_I(P);
+///   * completeness   — every history of hist_I(P) is output;
+///   * optimality     — no history is output twice;
+///   * strong optimality (base levels) — no blocked reads, and every
+///     explore call either recurses or outputs: end states == outputs and
+///     the exploration never dies on an inconsistent history;
+///   * explore-ce*(I0, I) invariance — the pre-filter end-state count
+///     depends only on I0, not on I (the paper's Fig. 14c overlap).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+
+#include "consistency/ConsistencyChecker.h"
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace txdpor;
+
+namespace {
+
+/// Small program family exercising: pure write/read races, read-modify-
+/// write conflicts, multi-variable transactions, guards, aborts and
+/// session sequencing.
+std::vector<std::pair<std::string, Program>> makeProgramFamily() {
+  std::vector<std::pair<std::string, Program>> Family;
+
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    B.beginTxn(0).write(X, 1);
+    B.beginTxn(1).read("a", X);
+    Family.push_back({"wr-race", B.build()});
+  }
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    B.beginTxn(0).write(X, 1);
+    B.beginTxn(1).write(X, 2);
+    B.beginTxn(2).read("a", X);
+    Family.push_back({"two-writers", B.build()});
+  }
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.read("b", Y);
+    auto T1 = B.beginTxn(1);
+    T1.write(X, 2);
+    T1.write(Y, 2);
+    Family.push_back({"fig10", B.build()});
+  }
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.write(Y, 1);
+    auto T1 = B.beginTxn(1);
+    T1.read("b", Y);
+    T1.write(X, 1);
+    Family.push_back({"write-skew", B.build()});
+  }
+  {
+    // Read-modify-write counter race.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.write(X, T0.local("a") + 1);
+    auto T1 = B.beginTxn(1);
+    T1.read("b", X);
+    T1.write(X, T1.local("b") + 1);
+    Family.push_back({"counter-race", B.build()});
+  }
+  {
+    // Sessions with two transactions each; cross reads.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    B.beginTxn(0).write(X, 1);
+    auto T01 = B.beginTxn(0);
+    T01.read("a", Y);
+    B.beginTxn(1).write(Y, 2);
+    auto T11 = B.beginTxn(1);
+    T11.read("b", X);
+    Family.push_back({"two-sessions-two-txns", B.build()});
+  }
+  {
+    // Guarded write + abort driven by read values (Fig. 11 flavor).
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.abort(eq(T0.local("a"), 0));
+    T0.write(Y, 1);
+    B.beginTxn(0).read("b", X);
+    B.beginTxn(1).write(Y, 3);
+    B.beginTxn(1).write(X, 4);
+    Family.push_back({"fig11", B.build()});
+  }
+  {
+    // Three sessions hammering one variable.
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.write(X, 10);
+    B.beginTxn(1).read("b", X);
+    auto T2 = B.beginTxn(2);
+    T2.write(X, 20);
+    Family.push_back({"one-var-three-sessions", B.build()});
+  }
+  return Family;
+}
+
+const IsolationLevel BaseLevels[] = {
+    IsolationLevel::Trivial, IsolationLevel::ReadCommitted,
+    IsolationLevel::ReadAtomic, IsolationLevel::CausalConsistency};
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+} // namespace
+
+class CorrectnessTest : public ::testing::TestWithParam<IsolationLevel> {};
+
+TEST_P(CorrectnessTest, SoundCompleteOptimalVsReference) {
+  IsolationLevel Base = GetParam();
+  for (auto &[Name, P] : makeProgramFamily()) {
+    auto Reference = enumerateReference(P, Base);
+    auto Explored = enumerateHistories(P, ExplorerConfig::exploreCE(Base));
+
+    // Optimality: each history exactly once.
+    EXPECT_EQ(keySet(Explored.Histories).size(), Explored.Histories.size())
+        << Name << " under " << isolationLevelName(Base)
+        << ": duplicate outputs";
+
+    // Soundness + completeness: output set == hist_I(P).
+    EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories))
+        << Name << " under " << isolationLevelName(Base);
+
+    // Strong optimality symptoms: no blocked read branches, and since
+    // there is no filter, every end state is an output.
+    EXPECT_EQ(Explored.Stats.BlockedReads, 0u) << Name;
+    EXPECT_EQ(Explored.Stats.EndStates, Explored.Stats.Outputs) << Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseLevels, CorrectnessTest,
+                         ::testing::ValuesIn(BaseLevels),
+                         [](const auto &Info) {
+                           return std::string(
+                               isolationLevelName(Info.param));
+                         });
+
+class FilterCorrectnessTest
+    : public ::testing::TestWithParam<IsolationLevel> {};
+
+TEST_P(FilterCorrectnessTest, ExploreCeStarMatchesFilteredReference) {
+  IsolationLevel Filter = GetParam();
+  // Any base weaker than the filter works (Cor. 6.2); use CC as the paper
+  // recommends, and RC to stress a weaker base.
+  for (IsolationLevel Base : {IsolationLevel::CausalConsistency,
+                              IsolationLevel::ReadCommitted}) {
+    if (!isWeakerOrEqual(Base, Filter))
+      continue;
+    for (auto &[Name, P] : makeProgramFamily()) {
+      auto Reference = enumerateReference(P, Filter);
+      auto Explored = enumerateHistories(
+          P, ExplorerConfig::exploreCEStar(Base, Filter));
+      EXPECT_EQ(keySet(Explored.Histories).size(),
+                Explored.Histories.size())
+          << Name << ": duplicates under " << isolationLevelName(Base)
+          << "+" << isolationLevelName(Filter);
+      EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories))
+          << Name << " under " << isolationLevelName(Base) << "+"
+          << isolationLevelName(Filter);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Filters, FilterCorrectnessTest,
+    ::testing::Values(IsolationLevel::ReadAtomic,
+                      IsolationLevel::CausalConsistency,
+                      IsolationLevel::SnapshotIsolation,
+                      IsolationLevel::Serializability),
+    [](const auto &Info) {
+      return std::string(isolationLevelName(Info.param));
+    });
+
+TEST(InvarianceTest, EndStatesDependOnlyOnBaseLevel) {
+  // Fig. 14c: CC, CC+SI and CC+SER produce identical end-state counts —
+  // the filter only affects outputs.
+  for (auto &[Name, P] : makeProgramFamily()) {
+    ExplorerStats Plain = exploreProgram(
+        P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+    ExplorerStats Si = exploreProgram(
+        P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                         IsolationLevel::SnapshotIsolation));
+    ExplorerStats Ser = exploreProgram(
+        P, ExplorerConfig::exploreCEStar(IsolationLevel::CausalConsistency,
+                                         IsolationLevel::Serializability));
+    EXPECT_EQ(Plain.EndStates, Si.EndStates) << Name;
+    EXPECT_EQ(Plain.EndStates, Ser.EndStates) << Name;
+    EXPECT_GE(Si.Outputs, Ser.Outputs)
+        << Name << ": SER admits a subset of SI histories";
+  }
+}
+
+TEST(InvarianceTest, WeakerBaseExploresMoreEndStates) {
+  // The paper's Fig. 14 ordering: end states grow as the base level gets
+  // weaker (RC+CC explores at least as much as RA+CC, etc.).
+  for (auto &[Name, P] : makeProgramFamily()) {
+    uint64_t Prev = 0;
+    for (IsolationLevel Base :
+         {IsolationLevel::CausalConsistency, IsolationLevel::ReadAtomic,
+          IsolationLevel::ReadCommitted, IsolationLevel::Trivial}) {
+      ExplorerStats Stats = exploreProgram(
+          P, ExplorerConfig::exploreCEStar(Base,
+                                           IsolationLevel::CausalConsistency));
+      EXPECT_GE(Stats.EndStates, Prev)
+          << Name << " at base " << isolationLevelName(Base);
+      Prev = Stats.EndStates;
+    }
+  }
+}
+
+TEST(PolynomialSpaceTest, DepthStaysLinear) {
+  // The recursion depth is bounded by a small polynomial of the program
+  // size (each explore call adds one event; swap chains are bounded by
+  // the number of reads). A crude but effective guard against exponential
+  // space regressions.
+  for (auto &[Name, P] : makeProgramFamily()) {
+    ExplorerStats Stats = exploreProgram(
+        P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+    size_t EventBound = 0;
+    for (unsigned S = 0; S != P.numSessions(); ++S)
+      for (unsigned T = 0; T != P.numTxns(S); ++T)
+        EventBound += P.txn({S, T}).body().size() + 2;
+    EXPECT_LE(Stats.MaxDepth, (EventBound + 2) * (EventBound + 2))
+        << Name << ": suspiciously deep recursion";
+  }
+}

@@ -1,0 +1,154 @@
+//===- tests/explorer_random_test.cpp - Random-program properties ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The same soundness / completeness / optimality battery as the curated
+/// family, but over seeded random programs sweeping program shapes —
+/// guards, aborts, read-dependent writes included.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+
+#include "consistency/ConsistencyChecker.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+struct Shape {
+  unsigned Sessions, TxnsPerSession, Vars, MaxOps;
+  bool Guards, Aborts;
+};
+
+class RandomProgramTest : public ::testing::TestWithParam<Shape> {};
+
+} // namespace
+
+TEST_P(RandomProgramTest, AgainstReferenceUnderAllBases) {
+  const Shape &S = GetParam();
+  RandomProgramSpec Spec;
+  Spec.NumSessions = S.Sessions;
+  Spec.TxnsPerSession = S.TxnsPerSession;
+  Spec.NumVars = S.Vars;
+  Spec.MaxOpsPerTxn = S.MaxOps;
+  Spec.WithGuards = S.Guards;
+  Spec.WithAborts = S.Aborts;
+
+  Rng R(S.Sessions * 31 + S.TxnsPerSession * 7 + S.Vars * 3 + S.MaxOps);
+  for (unsigned Iter = 0; Iter != 6; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    for (IsolationLevel Base :
+         {IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic,
+          IsolationLevel::CausalConsistency}) {
+      auto Reference = enumerateReference(P, Base);
+      auto Explored = enumerateHistories(P, ExplorerConfig::exploreCE(Base));
+      EXPECT_EQ(keySet(Explored.Histories).size(), Explored.Histories.size())
+          << "duplicates under " << isolationLevelName(Base) << "\n"
+          << P.str();
+      EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories))
+          << "mismatch under " << isolationLevelName(Base) << "\n"
+          << P.str();
+      EXPECT_EQ(Explored.Stats.BlockedReads, 0u) << P.str();
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, StarAlgorithmsMatchFilteredReference) {
+  const Shape &S = GetParam();
+  RandomProgramSpec Spec;
+  Spec.NumSessions = S.Sessions;
+  Spec.TxnsPerSession = S.TxnsPerSession;
+  Spec.NumVars = S.Vars;
+  Spec.MaxOpsPerTxn = S.MaxOps;
+  Spec.WithGuards = S.Guards;
+  Spec.WithAborts = S.Aborts;
+
+  Rng R(1000 + S.Sessions * 31 + S.TxnsPerSession * 7 + S.Vars);
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    for (IsolationLevel Filter : {IsolationLevel::SnapshotIsolation,
+                                  IsolationLevel::Serializability}) {
+      auto Reference = enumerateReference(P, Filter);
+      auto Explored = enumerateHistories(
+          P, ExplorerConfig::exploreCEStar(
+                 IsolationLevel::CausalConsistency, Filter));
+      EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories))
+          << "mismatch under CC+" << isolationLevelName(Filter) << "\n"
+          << P.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomProgramTest,
+    ::testing::Values(Shape{2, 1, 1, 2, false, false},
+                      Shape{2, 1, 2, 3, false, false},
+                      Shape{2, 2, 2, 2, true, false},
+                      Shape{3, 1, 2, 2, false, true},
+                      Shape{2, 2, 1, 2, true, true},
+                      Shape{3, 2, 2, 2, true, true}),
+    [](const auto &Info) {
+      const Shape &S = Info.param;
+      std::string Name = std::to_string(S.Sessions) + "s" +
+                         std::to_string(S.TxnsPerSession) + "t" +
+                         std::to_string(S.Vars) + "v" +
+                         std::to_string(S.MaxOps) + "o";
+      if (S.Guards)
+        Name += "G";
+      if (S.Aborts)
+        Name += "A";
+      return Name;
+    });
+
+TEST(RandomProgramAblationTest, DisablingChecksKeepsSetCompleteness) {
+  // Without the §5.3 restrictions the algorithm loses optimality but must
+  // still be sound and complete: the *set* of outputs is unchanged,
+  // duplicates may appear.
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(555);
+  uint64_t TotalDuplicates = 0;
+  for (unsigned Iter = 0; Iter != 5; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    auto Optimal = enumerateHistories(
+        P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+
+    ExplorerConfig NoChecks =
+        ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+    NoChecks.CheckSwapped = false;
+    NoChecks.CheckReadLatest = false;
+    NoChecks.MaxEndStates = 200000;
+    NoChecks.TimeBudget = Deadline::afterMillis(30000);
+    auto Ablated = enumerateHistories(P, NoChecks);
+
+    ASSERT_FALSE(Ablated.Stats.HitEndStateCap)
+        << "ablation blew past the cap; shrink the program";
+    EXPECT_EQ(keySet(Ablated.Histories), keySet(Optimal.Histories))
+        << P.str();
+    EXPECT_GE(Ablated.Histories.size(), Optimal.Histories.size());
+    TotalDuplicates += Ablated.Histories.size() - Optimal.Histories.size();
+  }
+  // At least one of the programs must actually show the redundancy the
+  // §5.3 checks remove (otherwise the ablation test is vacuous).
+  EXPECT_GT(TotalDuplicates, 0u);
+}

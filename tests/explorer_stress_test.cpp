@@ -1,0 +1,170 @@
+//===- tests/explorer_stress_test.cpp - Larger-scale explorer checks ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stress checks on programs too large for the reference enumeration to
+/// be double-checked cheaply: soundness of every output, optimality
+/// (no duplicates), determinism across runs, and cross-base agreement of
+/// the filtered output sets (explore-ce*(I0, I) must produce the same
+/// history set for every valid base I0 — Cor. 6.2 says both equal
+/// hist_I(P)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Applications.h"
+#include "consistency/ConsistencyChecker.h"
+#include "core/Enumerate.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+} // namespace
+
+TEST(ExplorerStressTest, AppClientsSoundAndOptimal) {
+  for (AppKind App : AllApps) {
+    ClientSpec Spec;
+    Spec.Sessions = 3;
+    Spec.TxnsPerSession = 2;
+    Spec.Seed = 4;
+    Program P = makeClientProgram(App, Spec);
+    ExplorerConfig Config =
+        ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+    Config.MaxEndStates = 100000;
+
+    std::set<std::string> Seen;
+    uint64_t Outputs = 0;
+    ExplorerStats Stats = exploreProgram(P, Config, [&](const History &H) {
+      ++Outputs;
+      EXPECT_TRUE(Seen.insert(H.canonicalKey()).second)
+          << appName(App) << ": duplicate history";
+      EXPECT_TRUE(isConsistent(H, IsolationLevel::CausalConsistency));
+    });
+    EXPECT_FALSE(Stats.HitEndStateCap) << appName(App);
+    EXPECT_EQ(Stats.BlockedReads, 0u) << appName(App);
+    EXPECT_EQ(Outputs, Stats.Outputs);
+  }
+}
+
+TEST(ExplorerStressTest, DeterministicAcrossRuns) {
+  ClientSpec Spec;
+  Spec.Sessions = 3;
+  Spec.TxnsPerSession = 2;
+  Spec.Seed = 9;
+  Program P = makeClientProgram(AppKind::Twitter, Spec);
+
+  auto RunOnce = [&]() {
+    std::vector<std::string> Keys;
+    exploreProgram(P,
+                   ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency),
+                   [&](const History &H) { Keys.push_back(H.canonicalKey()); });
+    return Keys;
+  };
+  std::vector<std::string> First = RunOnce();
+  std::vector<std::string> Second = RunOnce();
+  EXPECT_EQ(First, Second) << "exploration must be fully deterministic";
+  EXPECT_FALSE(First.empty());
+}
+
+TEST(ExplorerStressTest, FilteredSetsAgreeAcrossBases) {
+  // Cor. 6.2: for any valid base I0, explore-ce*(I0, I) outputs exactly
+  // hist_I(P) — so the sets agree across bases even on larger programs.
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 3;
+  Spec.TxnsPerSession = 1;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 3;
+  Rng R(2718);
+  for (unsigned Iter = 0; Iter != 3; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    for (IsolationLevel Filter : {IsolationLevel::CausalConsistency,
+                                  IsolationLevel::SnapshotIsolation,
+                                  IsolationLevel::Serializability}) {
+      std::optional<std::set<std::string>> Reference;
+      for (IsolationLevel Base :
+           {IsolationLevel::Trivial, IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadAtomic, IsolationLevel::CausalConsistency}) {
+        if (!isWeakerOrEqual(Base, Filter))
+          continue;
+        auto Result = enumerateHistories(
+            P, ExplorerConfig::exploreCEStar(Base, Filter));
+        std::set<std::string> Keys = keySet(Result.Histories);
+        EXPECT_EQ(Keys.size(), Result.Histories.size())
+            << "duplicates from base " << isolationLevelName(Base);
+        if (!Reference)
+          Reference = Keys;
+        else
+          EXPECT_EQ(Keys, *Reference)
+              << "base " << isolationLevelName(Base) << " filter "
+              << isolationLevelName(Filter) << "\n"
+              << P.str();
+      }
+    }
+  }
+}
+
+TEST(ExplorerStressTest, ManySessionsSingleVar) {
+  // 5 sessions × 1 transaction, all touching one variable: stresses swap
+  // combinatorics. Counts must match the reference enumeration.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  for (unsigned S = 0; S != 5; ++S) {
+    auto T = B.beginTxn(S);
+    if (S % 2 == 0) {
+      T.write(X, static_cast<Value>(S) + 1);
+    } else {
+      T.read("a", X);
+    }
+  }
+  Program P = B.build();
+  auto Explored = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  auto Reference = enumerateReference(P, IsolationLevel::CausalConsistency);
+  EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories));
+  EXPECT_EQ(Explored.Histories.size(), Reference.Histories.size());
+  // 2 readers × 4 writer choices each (init + 3 writers): 16 classes.
+  EXPECT_EQ(Explored.Histories.size(), 16u);
+}
+
+TEST(ExplorerStressTest, LongSessionChains) {
+  // 2 sessions × 4 transactions: deep so-chains exercise session
+  // closure in Swap.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  for (unsigned T = 0; T != 4; ++T) {
+    auto S0 = B.beginTxn(0);
+    if (T % 2 == 0) {
+      S0.write(X, static_cast<Value>(T));
+    } else {
+      S0.read("a", Y);
+    }
+    auto S1 = B.beginTxn(1);
+    if (T % 2 == 0) {
+      S1.write(Y, static_cast<Value>(T));
+    } else {
+      S1.read("b", X);
+    }
+  }
+  Program P = B.build();
+  auto Explored = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  auto Reference = enumerateReference(P, IsolationLevel::CausalConsistency);
+  EXPECT_EQ(keySet(Explored.Histories), keySet(Reference.Histories));
+}

@@ -1,0 +1,223 @@
+//===- tests/history_test.cpp - History data-model tests ------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/History.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+} // namespace
+
+TEST(EventTest, Factories) {
+  Event W = Event::makeWrite(X, 7);
+  EXPECT_EQ(W.Kind, EventKind::Write);
+  EXPECT_EQ(W.Var, X);
+  EXPECT_EQ(W.Val, 7);
+  EXPECT_TRUE(W.isWrite());
+  EXPECT_FALSE(W.isRead());
+  EXPECT_EQ(Event::makeRead(Y).Var, Y);
+  EXPECT_EQ(Event::makeBegin().Kind, EventKind::Begin);
+}
+
+TEST(TxnUidTest, PackingAndInit) {
+  TxnUid U = uid(3, 5);
+  EXPECT_FALSE(U.isInit());
+  EXPECT_TRUE(TxnUid::init().isInit());
+  EXPECT_EQ(U.str(), "t3.5");
+  EXPECT_EQ(TxnUid::init().str(), "init");
+  EXPECT_NE(uid(1, 2).packed(), uid(2, 1).packed());
+}
+
+TEST(TransactionLogTest, StatusTransitions) {
+  TransactionLog Log(uid(0, 0));
+  Log.append(Event::makeBegin());
+  EXPECT_TRUE(Log.isPending());
+  Log.append(Event::makeWrite(X, 1));
+  EXPECT_TRUE(Log.isPending());
+  Log.append(Event::makeCommit());
+  EXPECT_TRUE(Log.isCommitted());
+  EXPECT_FALSE(Log.isAborted());
+}
+
+TEST(TransactionLogTest, AbortHidesWrites) {
+  TransactionLog Log(uid(0, 0));
+  Log.append(Event::makeBegin());
+  Log.append(Event::makeWrite(X, 1));
+  Log.append(Event::makeAbort());
+  EXPECT_TRUE(Log.isAborted());
+  EXPECT_FALSE(Log.writesVar(X)) << "writes(t) is empty for aborted logs";
+  EXPECT_TRUE(Log.writtenVars().empty());
+  // But the raw last-write value is still visible for read-local replay.
+  EXPECT_EQ(Log.lastWriteValue(X), std::optional<Value>(1));
+}
+
+TEST(TransactionLogTest, ExternalReads) {
+  TransactionLog Log(uid(0, 0));
+  Log.append(Event::makeBegin());
+  Log.append(Event::makeRead(X));     // pos 1: external.
+  Log.append(Event::makeWrite(X, 5)); // pos 2.
+  Log.append(Event::makeRead(X));     // pos 3: internal (po-preceded write).
+  Log.append(Event::makeRead(Y));     // pos 4: external.
+  EXPECT_TRUE(Log.isExternalRead(1));
+  EXPECT_FALSE(Log.isExternalRead(3));
+  EXPECT_TRUE(Log.isExternalRead(4));
+  EXPECT_EQ(Log.externalReads(), (std::vector<uint32_t>{1, 4}));
+}
+
+TEST(TransactionLogTest, LastWriteBeforeAndTruncate) {
+  TransactionLog Log(uid(0, 0));
+  Log.append(Event::makeBegin());
+  Log.append(Event::makeWrite(X, 1));
+  Log.append(Event::makeWrite(X, 2));
+  Log.append(Event::makeWrite(Y, 3));
+  EXPECT_EQ(Log.lastWriteBefore(X, 3), std::optional<uint32_t>(2));
+  EXPECT_EQ(Log.lastWriteBefore(X, 2), std::optional<uint32_t>(1));
+  EXPECT_EQ(Log.lastWriteBefore(Y, 3), std::nullopt);
+  TransactionLog Short = Log.truncated(2);
+  EXPECT_EQ(Short.size(), 2u);
+  EXPECT_EQ(Short.lastWriteValue(X), std::optional<Value>(1));
+}
+
+TEST(HistoryTest, InitialHistory) {
+  History H = History::makeInitial(3);
+  EXPECT_EQ(H.numTxns(), 1u);
+  EXPECT_TRUE(H.txn(0).isInit());
+  EXPECT_TRUE(H.txn(0).isCommitted());
+  for (VarId V = 0; V != 3; ++V) {
+    EXPECT_TRUE(H.txn(0).writesVar(V));
+    EXPECT_EQ(H.txn(0).lastWriteValue(V), std::optional<Value>(0));
+  }
+  EXPECT_FALSE(H.pendingTxn().has_value());
+  H.checkWellFormed();
+}
+
+TEST(HistoryTest, SessionOrder) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).w(X, 2).commit()
+                  .txn(0, 1).rInit(X).commit()
+                  .build();
+  unsigned Init = 0, T00 = 1, T10 = 2, T01 = 3;
+  EXPECT_TRUE(H.soLess(Init, T00));
+  EXPECT_TRUE(H.soLess(Init, T10));
+  EXPECT_TRUE(H.soLess(T00, T01));
+  EXPECT_FALSE(H.soLess(T00, T10)) << "different sessions are unordered";
+  EXPECT_FALSE(H.soLess(T01, T00));
+  EXPECT_FALSE(H.soLess(T00, Init));
+}
+
+TEST(HistoryTest, WrAndCausalRelations) {
+  // t0.0 writes x; t1.0 reads x from t0.0 then writes y;
+  // t2.0 reads y from t1.0.
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(Y, 2).commit()
+                  .txn(2, 0).r(Y, uid(1, 0)).commit()
+                  .build();
+  Relation Wr = H.wrRelation();
+  EXPECT_TRUE(Wr.get(1, 2));
+  EXPECT_TRUE(Wr.get(2, 3));
+  EXPECT_FALSE(Wr.get(1, 3));
+  Relation Causal = H.causalRelation();
+  EXPECT_TRUE(Causal.get(1, 3)) << "wr composes transitively";
+  EXPECT_TRUE(Causal.get(0, 3)) << "init precedes everything via so";
+  EXPECT_FALSE(Causal.get(3, 1));
+}
+
+TEST(HistoryTest, ReadValueExternalAndLocal) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 41).commit()
+                  .txn(1, 0)
+                  .r(X, uid(0, 0)) // external: reads 41.
+                  .w(X, 7)
+                  .rPlain(X) // internal: reads own 7.
+                  .commit()
+                  .build();
+  EXPECT_EQ(H.readValue(2, 1), 41);
+  EXPECT_EQ(H.readValue(2, 3), 7);
+}
+
+TEST(HistoryTest, CommittedWriters) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).w(X, 2).abort()
+                  .txn(2, 0).w(X, 3).commit()
+                  .build();
+  // init, t0.0 and t2.0 qualify; the aborted t1.0 does not.
+  EXPECT_EQ(H.committedWriters(X), (std::vector<unsigned>{0, 1, 3}));
+}
+
+TEST(HistoryTest, PendingTxnDetection) {
+  History H = History::makeInitial(1);
+  unsigned Idx = H.beginTxn(uid(0, 0));
+  ASSERT_TRUE(H.pendingTxn().has_value());
+  EXPECT_EQ(*H.pendingTxn(), Idx);
+  H.appendEvent(Idx, Event::makeCommit());
+  EXPECT_FALSE(H.pendingTxn().has_value());
+}
+
+TEST(HistoryTest, EqualityIgnoresBlockOrder) {
+  // Same logs in different block order.
+  History A = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).w(Y, 2).commit()
+                  .build();
+  History B = LitmusBuilder(2)
+                  .txn(1, 0).w(Y, 2).commit()
+                  .txn(0, 0).w(X, 1).commit()
+                  .build();
+  EXPECT_TRUE(A.sameHistory(B));
+  EXPECT_TRUE(B.sameHistory(A));
+  EXPECT_EQ(A.hashIgnoringOrder(), B.hashIgnoringOrder());
+  EXPECT_EQ(A.canonicalKey(), B.canonicalKey());
+}
+
+TEST(HistoryTest, InequalityOnDifferentWr) {
+  History A = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  History B = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).rInit(X).commit()
+                  .build();
+  EXPECT_FALSE(A.sameHistory(B));
+  EXPECT_NE(A.canonicalKey(), B.canonicalKey());
+}
+
+TEST(HistoryTest, InequalityOnDifferentEvents) {
+  History A = LitmusBuilder(1).txn(0, 0).w(X, 1).commit().build();
+  History B = LitmusBuilder(1).txn(0, 0).w(X, 2).commit().build();
+  History C = LitmusBuilder(1).txn(0, 0).w(X, 1).abort().build();
+  EXPECT_FALSE(A.sameHistory(B));
+  EXPECT_FALSE(A.sameHistory(C));
+}
+
+TEST(HistoryTest, StrRendersReadably) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  std::string S = H.str();
+  EXPECT_NE(S.find("write(x0,1)"), std::string::npos);
+  EXPECT_NE(S.find("read(x0)<-t0.0"), std::string::npos);
+}
+
+TEST(HistoryTest, OrderConsistencyCheck) {
+  // Well-ordered history: readers after writers; passes the check.
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  H.checkOrderConsistent();
+}

@@ -1,0 +1,168 @@
+//===- tests/invariants_test.cpp - Appendix E invariant checking ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic validation of the completeness-proof machinery of Appendix E:
+/// every ordered history the explorer visits must be or-respectful
+/// (Lemma E.6) and keep reads after their writers (footnote 7). We hook
+/// the explorer and assert the invariants on all visited states, over the
+/// paper's figure programs, application clients and random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Invariants.h"
+
+#include "apps/Applications.h"
+#include "core/Enumerate.h"
+#include "core/Swap.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+/// Runs explore-ce(Base) on P asserting the invariants at every visited
+/// ordered history; returns the number of histories checked.
+uint64_t exploreAsserting(const Program &P, IsolationLevel Base) {
+  uint64_t Visited = 0;
+  ExplorerConfig Config = ExplorerConfig::exploreCE(Base);
+  Config.OnExplore = [&](const History &H) {
+    ++Visited;
+    EXPECT_TRUE(readsFollowWriters(H)) << H.str();
+    EXPECT_TRUE(isOrRespectful(P, H)) << H.str();
+    H.checkOrderConsistent();
+  };
+  exploreProgram(P, Config);
+  return Visited;
+}
+
+} // namespace
+
+TEST(InvariantsTest, ReadsFollowWritersPositive) {
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(0, 1).commit()
+                  .txn(1, 0).r(0, uid(0, 0)).commit()
+                  .build();
+  EXPECT_TRUE(readsFollowWriters(H));
+}
+
+TEST(InvariantsTest, InOracleOrderHistoryIsRespectful) {
+  // A history explored strictly along the oracle order with no swaps.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(1).read("a", X);
+  Program P = B.build();
+
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  EXPECT_TRUE(isOrRespectful(P, H));
+}
+
+TEST(InvariantsTest, UnjustifiedInversionIsNotRespectful) {
+  // t1.0 runs before t0.0 in < although t0.0 is oracle-first, and nothing
+  // is swapped: not reachable, not or-respectful.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(1).write(X, 2);
+  Program P = B.build();
+
+  History H = LitmusBuilder(1)
+                  .txn(1, 0).w(X, 2).commit()
+                  .txn(0, 0).w(X, 1).commit()
+                  .build();
+  EXPECT_FALSE(isOrRespectful(P, H));
+}
+
+TEST(InvariantsTest, SwapJustifiesInversion) {
+  // The post-swap shape: the reader t0.0 moved after the oracle-later
+  // writer t1.0 and reads from it — the swapped read is the witness.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).read("a", X);
+  B.beginTxn(1).write(X, 2);
+  Program P = B.build();
+
+  History H = LitmusBuilder(1)
+                  .txn(1, 0).w(X, 2).commit()
+                  .txn(0, 0).r(X, uid(1, 0)).commit()
+                  .build();
+  EXPECT_TRUE(isOrRespectful(P, H));
+}
+
+TEST(InvariantsTest, MissingOracleEarlierTxnNeedsWitness) {
+  // t1.0 present, t0.0 entirely absent with no swapped read anywhere:
+  // Next would have started t0.0 first — unreachable.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(1).write(X, 2);
+  Program P = B.build();
+
+  History H = LitmusBuilder(1).txn(1, 0).w(X, 2).commit().build();
+  EXPECT_FALSE(isOrRespectful(P, H));
+}
+
+TEST(InvariantsTest, ExplorerVisitsOnlyRespectfulHistories) {
+  // Paper figure programs.
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    B.beginTxn(0).write(X, 2);
+    B.beginTxn(1).read("a", X);
+    B.beginTxn(2).read("b", X);
+    B.beginTxn(3).write(X, 4);
+    Program P = B.build();
+    EXPECT_GT(exploreAsserting(P, IsolationLevel::CausalConsistency), 0u);
+  }
+  {
+    ProgramBuilder B;
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    auto T0 = B.beginTxn(0);
+    T0.read("a", X);
+    T0.abort(eq(T0.local("a"), 0));
+    T0.write(Y, 1);
+    B.beginTxn(0).read("b", X);
+    B.beginTxn(1).write(Y, 3);
+    B.beginTxn(1).write(X, 4);
+    Program P = B.build();
+    EXPECT_GT(exploreAsserting(P, IsolationLevel::CausalConsistency), 0u);
+  }
+}
+
+TEST(InvariantsTest, ExplorerInvariantsOnApplications) {
+  for (AppKind App : {AppKind::Courseware, AppKind::Tpcc}) {
+    ClientSpec Spec;
+    Spec.Sessions = 2;
+    Spec.TxnsPerSession = 2;
+    Spec.Seed = 2;
+    Program P = makeClientProgram(App, Spec);
+    EXPECT_GT(exploreAsserting(P, IsolationLevel::CausalConsistency), 0u)
+        << appName(App);
+  }
+}
+
+TEST(InvariantsTest, ExplorerInvariantsOnRandomPrograms) {
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(777);
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    for (IsolationLevel Base :
+         {IsolationLevel::ReadCommitted, IsolationLevel::CausalConsistency})
+      EXPECT_GT(exploreAsserting(P, Base), 0u) << P.str();
+  }
+}

@@ -1,0 +1,125 @@
+//===- tests/naive_dfs_test.cpp - Baseline DFS tests ----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NaiveDfs.h"
+
+#include "consistency/ConsistencyChecker.h"
+#include "core/Enumerate.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+Program makeFig10() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.read("b", Y);
+  auto T1 = B.beginTxn(1);
+  T1.write(X, 2);
+  T1.write(Y, 2);
+  return B.build();
+}
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+} // namespace
+
+TEST(NaiveDfsTest, ExploresDuplicates) {
+  Program P = makeFig10();
+  NaiveDfsConfig C;
+  C.Level = IsolationLevel::CausalConsistency;
+  ExplorerStats Stats = naiveDfsProgram(P, C);
+  // Two transaction orders × read choices; CC admits 2 distinct histories
+  // but the DFS revisits them across interleavings.
+  EXPECT_GT(Stats.EndStates, 2u) << "no POR: duplicates expected";
+}
+
+TEST(NaiveDfsTest, DeduplicationMatchesExplorer) {
+  Program P = makeFig10();
+  auto Reference = enumerateReference(P, IsolationLevel::CausalConsistency);
+  EXPECT_EQ(Reference.Histories.size(), 2u);
+  EXPECT_EQ(Reference.Stats.Outputs, 2u);
+  EXPECT_GE(Reference.Stats.EndStates, Reference.Stats.Outputs);
+}
+
+TEST(NaiveDfsTest, SoundnessOfOutputs) {
+  Program P = makeFig10();
+  NaiveDfsConfig C;
+  C.Level = IsolationLevel::ReadCommitted;
+  NaiveDfs Dfs(P, C);
+  Dfs.run([&](const History &H) {
+    EXPECT_TRUE(isConsistent(H, IsolationLevel::ReadCommitted)) << H.str();
+    EXPECT_FALSE(H.pendingTxn().has_value());
+  });
+}
+
+TEST(NaiveDfsTest, UnrestrictedMatchesRestrictedHistorySet) {
+  // The one-pending restriction does not lose histories (prefix-closed
+  // levels): the deduplicated sets agree, while the unrestricted mode
+  // visits at least as many executions.
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 1;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(31337);
+  for (unsigned Iter = 0; Iter != 5; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    for (IsolationLevel Level :
+         {IsolationLevel::ReadCommitted, IsolationLevel::CausalConsistency,
+          IsolationLevel::Serializability}) {
+      auto Restricted = enumerateReference(P, Level, /*Unrestricted=*/false);
+      auto Unrestricted = enumerateReference(P, Level, /*Unrestricted=*/true);
+      EXPECT_EQ(keySet(Restricted.Histories), keySet(Unrestricted.Histories))
+          << isolationLevelName(Level) << "\n"
+          << P.str();
+      EXPECT_GE(Unrestricted.Stats.EndStates, Restricted.Stats.EndStates);
+    }
+  }
+}
+
+TEST(NaiveDfsTest, EndStateCapAndDeadline) {
+  Program P = makeFig10();
+  NaiveDfsConfig C;
+  C.Level = IsolationLevel::CausalConsistency;
+  C.MaxEndStates = 1;
+  ExplorerStats Stats = naiveDfsProgram(P, C);
+  EXPECT_EQ(Stats.EndStates, 1u);
+  EXPECT_TRUE(Stats.HitEndStateCap);
+
+  NaiveDfsConfig C2;
+  C2.Level = IsolationLevel::CausalConsistency;
+  C2.TimeBudget = Deadline::afterMillis(0);
+  ExplorerStats Stats2 = naiveDfsProgram(P, C2);
+  EXPECT_TRUE(Stats2.TimedOut || Stats2.EndStates > 0);
+}
+
+TEST(NaiveDfsTest, SingleSessionHasOneExecution) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  Program P = B.build();
+  NaiveDfsConfig C;
+  C.Level = IsolationLevel::CausalConsistency;
+  ExplorerStats Stats = naiveDfsProgram(P, C);
+  EXPECT_EQ(Stats.EndStates, 1u) << "no interleaving freedom";
+}

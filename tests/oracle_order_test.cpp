@@ -1,0 +1,166 @@
+//===- tests/oracle_order_test.cpp - Scheduler-independence properties ----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.1 fixes an *arbitrary* oracle order consistent with session order;
+/// correctness (soundness, completeness, optimality) cannot depend on the
+/// choice. These tests run the explorer under several oracle orders —
+/// session-priority permutations and round-robin interleavings — and
+/// assert the output sets coincide and stay duplicate-free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumerate.h"
+#include "core/Swap.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+/// All so-consistent oracle orders obtained by permuting session
+/// priority (sessions run in a fixed priority order; within a session,
+/// ascending index).
+std::vector<std::vector<TxnUid>> sessionPermutations(const Program &P) {
+  std::vector<uint32_t> Sessions;
+  for (uint32_t S = 0; S != P.numSessions(); ++S)
+    Sessions.push_back(S);
+  std::vector<std::vector<TxnUid>> Orders;
+  std::sort(Sessions.begin(), Sessions.end());
+  do {
+    std::vector<TxnUid> Order;
+    for (uint32_t S : Sessions)
+      for (uint32_t T = 0; T != P.numTxns(S); ++T)
+        Order.push_back({S, T});
+    Orders.push_back(std::move(Order));
+  } while (std::next_permutation(Sessions.begin(), Sessions.end()));
+  return Orders;
+}
+
+/// Round-robin interleaving: one transaction per session in turn.
+std::vector<TxnUid> roundRobin(const Program &P) {
+  std::vector<TxnUid> Order;
+  std::vector<uint32_t> Next(P.numSessions(), 0);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (uint32_t S = 0; S != P.numSessions(); ++S)
+      if (Next[S] < P.numTxns(S)) {
+        Order.push_back({S, Next[S]++});
+        Progress = true;
+      }
+  }
+  return Order;
+}
+
+} // namespace
+
+TEST(OracleOrderClassTest, FromSequenceComparesByRank) {
+  OracleOrder Order = OracleOrder::fromSequence(
+      {{1, 0}, {0, 0}, {1, 1}, {0, 1}});
+  EXPECT_TRUE(Order.less({1, 0}, {0, 0}));
+  EXPECT_TRUE(Order.less({0, 0}, {1, 1}));
+  EXPECT_FALSE(Order.less({0, 0}, {1, 0}));
+  EXPECT_TRUE(Order.less(TxnUid::init(), {1, 0}));
+  EXPECT_FALSE(Order.less({1, 0}, TxnUid::init()));
+}
+
+TEST(OracleOrderClassTest, DefaultIsLexicographic) {
+  OracleOrder Order;
+  EXPECT_TRUE(Order.less({0, 1}, {1, 0}));
+  EXPECT_TRUE(Order.less({1, 0}, {1, 1}));
+}
+
+TEST(OracleOrderTest, OutputSetInvariantAcrossSessionPermutations) {
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 3;
+  Spec.TxnsPerSession = 1;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(13);
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    std::optional<std::set<std::string>> Reference;
+    for (const std::vector<TxnUid> &Order : sessionPermutations(P)) {
+      ExplorerConfig Config =
+          ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+      Config.OracleOrderOverride = Order;
+      auto Result = enumerateHistories(P, Config);
+      std::set<std::string> Keys = keySet(Result.Histories);
+      EXPECT_EQ(Keys.size(), Result.Histories.size())
+          << "duplicates under a permuted oracle order\n"
+          << P.str();
+      if (!Reference)
+        Reference = Keys;
+      else
+        EXPECT_EQ(Keys, *Reference) << P.str();
+    }
+  }
+}
+
+TEST(OracleOrderTest, RoundRobinMatchesDefault) {
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(47);
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    auto Default = enumerateHistories(
+        P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+    ExplorerConfig Config =
+        ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+    Config.OracleOrderOverride = roundRobin(P);
+    auto Interleaved = enumerateHistories(P, Config);
+    EXPECT_EQ(keySet(Default.Histories), keySet(Interleaved.Histories))
+        << P.str();
+    EXPECT_EQ(Interleaved.Histories.size(),
+              keySet(Interleaved.Histories).size());
+  }
+}
+
+TEST(OracleOrderTest, FilteredAlgorithmsAlsoInvariant) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.write(Y, 1);
+  auto T1 = B.beginTxn(1);
+  T1.read("b", Y);
+  T1.write(X, 1);
+  Program P = B.build();
+
+  std::optional<std::set<std::string>> Reference;
+  for (const std::vector<TxnUid> &Order : sessionPermutations(P)) {
+    ExplorerConfig Config = ExplorerConfig::exploreCEStar(
+        IsolationLevel::CausalConsistency, IsolationLevel::Serializability);
+    Config.OracleOrderOverride = Order;
+    auto Result = enumerateHistories(P, Config);
+    std::set<std::string> Keys = keySet(Result.Histories);
+    if (!Reference)
+      Reference = Keys;
+    else
+      EXPECT_EQ(Keys, *Reference);
+  }
+  ASSERT_TRUE(Reference.has_value());
+  EXPECT_EQ(Reference->size(), 2u) << "write skew filtered by SER";
+}

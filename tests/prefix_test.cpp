@@ -1,0 +1,128 @@
+//===- tests/prefix_test.cpp - History prefixes (§3.1) --------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Prefix.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+
+/// The history of Fig. 4a: a session reading x then y, a second session
+/// whose transaction writes x = 2 and whose successor reads x.
+///  s0: t0.0 = [read(x)<-init, read(y)<-t1.0]
+///  s1: t1.0 = [write(x,2) + write(y, ...)], t1.1 = [read(x)<-t1.0]
+History makeFig4History() {
+  return LitmusBuilder(2)
+      .txn(1, 0).w(X, 2).w(Y, 1).commit()
+      .txn(0, 0).rInit(X).r(Y, uid(1, 0)).commit()
+      .txn(1, 1).r(X, uid(1, 0)).commit()
+      .build();
+}
+} // namespace
+
+TEST(PrefixTest, FullCutIsDownwardClosed) {
+  History H = makeFig4History();
+  PrefixCut Cut;
+  for (unsigned I = 0; I != H.numTxns(); ++I)
+    Cut.push_back(static_cast<uint32_t>(H.txn(I).size()));
+  EXPECT_TRUE(isDownwardClosed(H, Cut));
+}
+
+TEST(PrefixTest, Fig4bIsAPrefix) {
+  // Keep init, t1.0 whole, and t0.0 without its trailing events after the
+  // reads; drop t1.1 entirely — the shape of Fig. 4b.
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size()); // init.
+  Cut[1] = static_cast<uint32_t>(H.txn(1).size()); // t1.0 whole.
+  Cut[2] = 3;                                      // begin, read(x), read(y).
+  EXPECT_TRUE(isDownwardClosed(H, Cut));
+  History P = takePrefix(H, Cut);
+  EXPECT_EQ(P.numTxns(), 3u);
+  EXPECT_TRUE(isPrefixOf(P, H));
+}
+
+TEST(PrefixTest, Fig4cIsNotAPrefix) {
+  // Dropping the wr predecessor t1.0 while keeping its readers is not
+  // downward closed (Fig. 4c).
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size());
+  Cut[1] = 0;                                      // drop t1.0.
+  Cut[2] = static_cast<uint32_t>(H.txn(2).size()); // t0.0 reads y from it.
+  Cut[3] = static_cast<uint32_t>(H.txn(3).size()); // t1.1 reads x from it.
+  EXPECT_FALSE(isDownwardClosed(H, Cut));
+}
+
+TEST(PrefixTest, SoClosureRequiresWholePredecessor) {
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size());
+  Cut[1] = 1; // t1.0 truncated to just begin ...
+  Cut[3] = 1; // ... but its so-successor t1.1 is present.
+  EXPECT_FALSE(isDownwardClosed(H, Cut));
+}
+
+TEST(PrefixTest, CloseDownwardConverges) {
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size());
+  Cut[1] = 0; // Drop t1.0; its dependents must be dropped too.
+  Cut[2] = static_cast<uint32_t>(H.txn(2).size());
+  Cut[3] = static_cast<uint32_t>(H.txn(3).size());
+  closeDownward(H, Cut);
+  EXPECT_TRUE(isDownwardClosed(H, Cut));
+  EXPECT_EQ(Cut[2], 0u) << "t0.0 reads y from the dropped t1.0";
+  EXPECT_EQ(Cut[3], 0u) << "t1.1 reads x from the dropped t1.0";
+}
+
+TEST(PrefixTest, TakePrefixDropsEmptiedLogs) {
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size());
+  Cut[1] = static_cast<uint32_t>(H.txn(1).size());
+  History P = takePrefix(H, Cut);
+  EXPECT_EQ(P.numTxns(), 2u);
+  EXPECT_TRUE(P.contains(uid(1, 0)));
+  EXPECT_FALSE(P.contains(uid(0, 0)));
+  EXPECT_TRUE(isPrefixOf(P, H));
+}
+
+TEST(PrefixTest, PrefixOfItself) {
+  History H = makeFig4History();
+  EXPECT_TRUE(isPrefixOf(H, H));
+}
+
+TEST(PrefixTest, NotPrefixWithDifferentWr) {
+  History H = makeFig4History();
+  // Same shape but t1.1 reads x from init instead of t1.0.
+  History Other = LitmusBuilder(2)
+                      .txn(1, 0).w(X, 2).w(Y, 1).commit()
+                      .txn(0, 0).rInit(X).r(Y, uid(1, 0)).commit()
+                      .txn(1, 1).rInit(X).commit()
+                      .build();
+  EXPECT_FALSE(isPrefixOf(Other, H));
+}
+
+TEST(PrefixTest, TruncatedLogIsPoPrefix) {
+  History H = makeFig4History();
+  PrefixCut Cut(H.numTxns(), 0);
+  Cut[0] = static_cast<uint32_t>(H.txn(0).size());
+  Cut[1] = 2; // init + first write of t1.0: begin, write(x,2).
+  EXPECT_TRUE(isDownwardClosed(H, Cut));
+  History P = takePrefix(H, Cut);
+  ASSERT_EQ(P.numTxns(), 2u);
+  EXPECT_EQ(P.txn(1).size(), 2u);
+  EXPECT_TRUE(P.txn(1).isPending());
+  EXPECT_TRUE(isPrefixOf(P, H));
+}

@@ -1,0 +1,167 @@
+//===- tests/program_test.cpp - Language / AST / builder tests ------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+
+namespace {
+std::vector<Value> locals(std::initializer_list<Value> Vs) { return Vs; }
+} // namespace
+
+TEST(ExprTest, Constants) {
+  ExprRef E = 42;
+  EXPECT_EQ(E.evaluate(locals({})), 42);
+}
+
+TEST(ExprTest, LocalReference) {
+  ExprRef E = Expr::makeLocal(1);
+  EXPECT_EQ(E.evaluate(locals({10, 20})), 20);
+}
+
+TEST(ExprTest, Arithmetic) {
+  ExprRef A = Expr::makeLocal(0);
+  EXPECT_EQ((A + 5).evaluate(locals({2})), 7);
+  EXPECT_EQ((A - 5).evaluate(locals({2})), -3);
+  EXPECT_EQ((A * 3).evaluate(locals({2})), 6);
+  EXPECT_EQ((-A).evaluate(locals({2})), -2);
+}
+
+TEST(ExprTest, Comparisons) {
+  ExprRef A = Expr::makeLocal(0);
+  EXPECT_EQ(eq(A, 2).evaluate(locals({2})), 1);
+  EXPECT_EQ(eq(A, 3).evaluate(locals({2})), 0);
+  EXPECT_EQ(ne(A, 3).evaluate(locals({2})), 1);
+  EXPECT_EQ(lt(A, 3).evaluate(locals({2})), 1);
+  EXPECT_EQ(le(A, 2).evaluate(locals({2})), 1);
+  EXPECT_EQ(gt(A, 2).evaluate(locals({2})), 0);
+  EXPECT_EQ(ge(A, 2).evaluate(locals({2})), 1);
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  ExprRef A = Expr::makeLocal(0), B = Expr::makeLocal(1);
+  EXPECT_EQ(land(A, B).evaluate(locals({1, 0})), 0);
+  EXPECT_EQ(land(A, B).evaluate(locals({2, 3})), 1);
+  EXPECT_EQ(lor(A, B).evaluate(locals({0, 0})), 0);
+  EXPECT_EQ(lor(A, B).evaluate(locals({0, 5})), 1);
+  EXPECT_EQ(lnot(A).evaluate(locals({0})), 1);
+  EXPECT_EQ(lnot(A).evaluate(locals({7})), 0);
+}
+
+TEST(ExprTest, BitOps) {
+  ExprRef A = Expr::makeLocal(0);
+  EXPECT_EQ(bitOr(A, 0b100).evaluate(locals({0b001})), 0b101);
+  EXPECT_EQ(bitAnd(A, 0b110).evaluate(locals({0b011})), 0b010);
+}
+
+TEST(ExprTest, MaxLocalAndStr) {
+  ExprRef E = land(eq(Expr::makeLocal(2), 1), Expr::makeLocal(0));
+  EXPECT_EQ(E.Node->maxLocal(), 2);
+  EXPECT_FALSE(E.Node->str().empty());
+}
+
+TEST(ProgramBuilderTest, VarInterning) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId X2 = B.var("x");
+  VarId Y = B.var("y");
+  EXPECT_EQ(X, X2);
+  EXPECT_NE(X, Y);
+  Program P = B.build();
+  EXPECT_EQ(P.numVars(), 2u);
+  EXPECT_EQ(P.varName(X), "x");
+  EXPECT_EQ(P.findVar("y"), std::optional<VarId>(Y));
+  EXPECT_EQ(P.findVar("z"), std::nullopt);
+}
+
+TEST(ProgramBuilderTest, SessionsAndTransactions) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0, "first").write(X, 1);
+  B.beginTxn(0, "second").read("a", X);
+  B.beginTxn(2, "third").write(X, 2);
+  Program P = B.build();
+  EXPECT_EQ(P.numSessions(), 3u);
+  EXPECT_EQ(P.numTxns(0), 2u);
+  EXPECT_EQ(P.numTxns(1), 0u);
+  EXPECT_EQ(P.numTxns(2), 1u);
+  EXPECT_EQ(P.totalTxns(), 3u);
+  EXPECT_EQ(P.txn({0, 0}).name(), "first");
+  EXPECT_EQ(P.txn({0, 1}).name(), "second");
+}
+
+TEST(ProgramBuilderTest, LocalInterningPerTransaction) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X).read("b", X);
+  auto T1 = B.beginTxn(1);
+  T1.read("a", X);
+  Program P = B.build();
+  EXPECT_EQ(P.txn({0, 0}).numLocals(), 2u);
+  EXPECT_EQ(P.txn({1, 0}).numLocals(), 1u);
+  EXPECT_EQ(P.txn({0, 0}).findLocal("a"), std::optional<LocalId>(0));
+  EXPECT_EQ(P.txn({0, 0}).findLocal("b"), std::optional<LocalId>(1));
+  EXPECT_EQ(P.txn({1, 0}).findLocal("b"), std::nullopt);
+}
+
+TEST(ProgramBuilderTest, HandlesStayValidAcrossGrowth) {
+  // TxnHandle must survive later beginTxn calls on the same session.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T0 = B.beginTxn(0);
+  auto T1 = B.beginTxn(0);
+  T0.write(X, 1); // Touch the earlier handle after the vector grew.
+  T1.write(X, 2);
+  Program P = B.build();
+  EXPECT_EQ(P.txn({0, 0}).body().size(), 1u);
+  EXPECT_EQ(P.txn({0, 1}).body().size(), 1u);
+}
+
+TEST(ProgramBuilderTest, GuardedInstructions) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  T.write(X, 1, eq(T.local("a"), 0));
+  T.abort(ne(T.local("a"), 0));
+  Program P = B.build();
+  const std::vector<Instr> &Body = P.txn({0, 0}).body();
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_FALSE(Body[0].Guard.valid());
+  EXPECT_TRUE(Body[1].Guard.valid());
+  EXPECT_EQ(Body[2].Kind, InstrKind::Abort);
+}
+
+TEST(ProgramTest, OracleOrder) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 1);
+  B.beginTxn(0).write(X, 2);
+  B.beginTxn(1).write(X, 3);
+  Program P = B.build();
+  std::vector<TxnUid> Order = P.oracleOrder();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], (TxnUid{0, 0}));
+  EXPECT_EQ(Order[1], (TxnUid{0, 1}));
+  EXPECT_EQ(Order[2], (TxnUid{1, 0}));
+}
+
+TEST(ProgramTest, StrRendersSourceLike) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0, "demo");
+  T.read("a", X);
+  T.write(X, T.local("a") + 1);
+  Program P = B.build();
+  std::string S = P.str();
+  EXPECT_NE(S.find("a := read(x)"), std::string::npos);
+  EXPECT_NE(S.find("write(x, (a + 1))"), std::string::npos);
+  EXPECT_NE(S.find("commit"), std::string::npos);
+}

@@ -1,0 +1,139 @@
+//===- tests/random_walk_test.cpp - Randomized baseline tests -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RandomWalk.h"
+
+#include "consistency/ConsistencyChecker.h"
+#include "core/Enumerate.h"
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+Program makeFig10() {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T0 = B.beginTxn(0);
+  T0.read("a", X);
+  T0.read("b", Y);
+  auto T1 = B.beginTxn(1);
+  T1.write(X, 2);
+  T1.write(Y, 2);
+  return B.build();
+}
+
+std::set<std::string> keySet(const std::vector<History> &Hs) {
+  std::set<std::string> Keys;
+  for (const History &H : Hs)
+    Keys.insert(H.canonicalKey());
+  return Keys;
+}
+
+} // namespace
+
+TEST(RandomWalkTest, OutputsAreSoundAndComplete) {
+  Program P = makeFig10();
+  std::vector<History> Sampled;
+  RandomWalkConfig Config;
+  Config.Level = IsolationLevel::CausalConsistency;
+  Config.NumWalks = 200;
+  Config.Seed = 5;
+  RandomWalkStats Stats = randomWalkProgram(P, Config, [&](const History &H) {
+    EXPECT_TRUE(isConsistent(H, IsolationLevel::CausalConsistency))
+        << H.str();
+    Sampled.push_back(H);
+  });
+  EXPECT_EQ(Stats.Walks, 200u);
+  EXPECT_EQ(Stats.DistinctHistories, Sampled.size());
+
+  // Every sampled history is a real history of the program; with 200
+  // walks this tiny program is covered completely.
+  auto Reference = enumerateReference(P, IsolationLevel::CausalConsistency);
+  std::set<std::string> RefKeys = keySet(Reference.Histories);
+  for (const History &H : Sampled)
+    EXPECT_TRUE(RefKeys.count(H.canonicalKey())) << H.str();
+  EXPECT_EQ(keySet(Sampled), RefKeys) << "200 walks should cover 2 classes";
+}
+
+TEST(RandomWalkTest, Deterministic) {
+  Program P = makeFig10();
+  RandomWalkConfig Config;
+  Config.NumWalks = 50;
+  Config.Seed = 77;
+  std::vector<std::string> First, Second;
+  randomWalkProgram(P, Config, [&](const History &H) {
+    First.push_back(H.canonicalKey());
+  });
+  randomWalkProgram(P, Config, [&](const History &H) {
+    Second.push_back(H.canonicalKey());
+  });
+  EXPECT_EQ(First, Second);
+}
+
+TEST(RandomWalkTest, CoverageGrowsWithWalks) {
+  // A program with more behaviors: coverage at 4 walks is at most the
+  // coverage at 64 walks.
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 3;
+  Spec.TxnsPerSession = 1;
+  Spec.NumVars = 2;
+  Spec.MaxOpsPerTxn = 2;
+  Rng R(99);
+  Program P = makeRandomProgram(R, Spec);
+
+  auto DistinctAfter = [&](uint64_t Walks) {
+    RandomWalkConfig Config;
+    Config.NumWalks = Walks;
+    Config.Seed = 3;
+    return randomWalkProgram(P, Config).DistinctHistories;
+  };
+  uint64_t AtFew = DistinctAfter(4);
+  uint64_t AtMany = DistinctAfter(64);
+  EXPECT_LE(AtFew, AtMany);
+
+  auto Exhaustive = enumerateHistories(
+      P, ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency));
+  EXPECT_LE(AtMany, Exhaustive.Histories.size())
+      << "sampling can never exceed the exhaustive count";
+}
+
+TEST(RandomWalkTest, RespectsDeadline) {
+  Program P = makeFig10();
+  RandomWalkConfig Config;
+  Config.NumWalks = 1000000;
+  Config.TimeBudget = Deadline::afterMillis(5);
+  RandomWalkStats Stats = randomWalkProgram(P, Config);
+  EXPECT_TRUE(Stats.TimedOut);
+  EXPECT_LT(Stats.Walks, 1000000u);
+}
+
+TEST(RandomWalkTest, HandlesAbortsAndGuards) {
+  RandomProgramSpec Spec;
+  Spec.NumSessions = 2;
+  Spec.TxnsPerSession = 2;
+  Spec.WithGuards = true;
+  Spec.WithAborts = true;
+  Rng R(4321);
+  for (unsigned Iter = 0; Iter != 3; ++Iter) {
+    Program P = makeRandomProgram(R, Spec);
+    RandomWalkConfig Config;
+    Config.NumWalks = 30;
+    Config.Seed = Iter;
+    RandomWalkStats Stats =
+        randomWalkProgram(P, Config, [&](const History &H) {
+          H.checkWellFormed();
+          EXPECT_FALSE(H.pendingTxn().has_value());
+        });
+    EXPECT_EQ(Stats.Walks, 30u);
+  }
+}

@@ -1,0 +1,219 @@
+//===- tests/semantics_test.cpp - Operational semantics tests -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Executor.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+
+/// begin; a := read(x); if (a == 3) write(y, 1); commit  — the left
+/// transaction of the paper's Fig. 8 program.
+Program makeFig8LeftProgram(VarId &X, VarId &Y) {
+  ProgramBuilder B;
+  X = B.var("x");
+  Y = B.var("y");
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  T.write(Y, 1, eq(T.local("a"), 3));
+  return B.build();
+}
+
+} // namespace
+
+TEST(ExecutorTest, AdvanceStopsAtRead) {
+  VarId X, Y;
+  Program P = makeFig8LeftProgram(X, Y);
+  const Transaction &Code = P.txn({0, 0});
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  DbOp Op = advanceToDbOp(Code, Cur);
+  EXPECT_EQ(Op.Kind, DbOp::Kind::Read);
+  EXPECT_EQ(Op.Var, X);
+}
+
+TEST(ExecutorTest, GuardTrueEmitsWrite) {
+  VarId X, Y;
+  Program P = makeFig8LeftProgram(X, Y);
+  const Transaction &Code = P.txn({0, 0});
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  advanceToDbOp(Code, Cur);
+  applyRead(Code, Cur, 3); // a == 3 enables the guarded write.
+  DbOp Op = advanceToDbOp(Code, Cur);
+  EXPECT_EQ(Op.Kind, DbOp::Kind::Write);
+  EXPECT_EQ(Op.Var, Y);
+  EXPECT_EQ(Op.Val, 1);
+}
+
+TEST(ExecutorTest, GuardFalseSkipsToCommit) {
+  VarId X, Y;
+  Program P = makeFig8LeftProgram(X, Y);
+  const Transaction &Code = P.txn({0, 0});
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  advanceToDbOp(Code, Cur);
+  applyRead(Code, Cur, 0); // Guard false: the write is skipped.
+  DbOp Op = advanceToDbOp(Code, Cur);
+  EXPECT_EQ(Op.Kind, DbOp::Kind::Commit);
+}
+
+TEST(ExecutorTest, AssignsRunAsLocalSteps) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0);
+  T.assign("a", 2);
+  T.assign("b", T.local("a") * 10);
+  T.write(X, T.local("b") + 1);
+  Program P = B.build();
+  const Transaction &Code = P.txn({0, 0});
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  DbOp Op = advanceToDbOp(Code, Cur);
+  EXPECT_EQ(Op.Kind, DbOp::Kind::Write);
+  EXPECT_EQ(Op.Val, 21);
+  EXPECT_EQ(Cur.Locals[*Code.findLocal("a")], 2);
+  EXPECT_EQ(Cur.Locals[*Code.findLocal("b")], 20);
+}
+
+TEST(ExecutorTest, AbortStopsBody) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  T.abort(eq(T.local("a"), 0));
+  T.write(X, 7);
+  Program P = B.build();
+  const Transaction &Code = P.txn({0, 0});
+
+  // a == 0: the abort fires before the write.
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  advanceToDbOp(Code, Cur);
+  applyRead(Code, Cur, 0);
+  EXPECT_EQ(advanceToDbOp(Code, Cur).Kind, DbOp::Kind::Abort);
+
+  // a != 0: the abort is skipped and the write happens.
+  TxnCursor Cur2 = TxnCursor::fresh(Code);
+  advanceToDbOp(Code, Cur2);
+  applyRead(Code, Cur2, 5);
+  EXPECT_EQ(advanceToDbOp(Code, Cur2).Kind, DbOp::Kind::Write);
+}
+
+TEST(ExecutorTest, LocalsStartAtZero) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  auto T = B.beginTxn(0);
+  T.write(X, T.local("never_assigned") + 5);
+  Program P = B.build();
+  const Transaction &Code = P.txn({0, 0});
+  TxnCursor Cur = TxnCursor::fresh(Code);
+  EXPECT_EQ(advanceToDbOp(Code, Cur).Val, 5);
+}
+
+TEST(ReplayTest, ReplaysLogDeterministically) {
+  // Program: t0.0 writes x=4; t1.0 reads x into a, writes y=a+1.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  B.beginTxn(0).write(X, 4);
+  auto T = B.beginTxn(1);
+  T.read("a", X);
+  T.write(Y, T.local("a") + 1);
+  Program P = B.build();
+
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 4).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(Y, 5).commit()
+                  .build();
+  TxnCursor Cur = replayCursor(P, H, 2);
+  EXPECT_TRUE(Cur.Finished);
+  EXPECT_EQ(Cur.Locals[*P.txn({1, 0}).findLocal("a")], 4);
+}
+
+TEST(ReplayTest, PartialLogYieldsResumableCursor) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  T.write(Y, T.local("a") * 2);
+  Program P = B.build();
+
+  // Only the read happened so far (pending log).
+  History H = History::makeInitial(2);
+  unsigned Idx = H.beginTxn(uid(0, 0));
+  H.appendEvent(Idx, Event::makeRead(X));
+  H.setWriter(Idx, 1, TxnUid::init());
+
+  TxnCursor Cur = replayCursor(P, H, Idx);
+  EXPECT_FALSE(Cur.Finished);
+  DbOp Op = advanceToDbOp(P.txn({0, 0}), Cur);
+  EXPECT_EQ(Op.Kind, DbOp::Kind::Write);
+  EXPECT_EQ(Op.Val, 0) << "read from init must yield 0";
+}
+
+TEST(ReplayTest, ReplayFollowsGuardsFromReadValues) {
+  // Fig. 11 flavor: abort iff a == 0.
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  VarId Y = B.var("y");
+  auto T = B.beginTxn(0);
+  T.read("a", X);
+  T.abort(eq(T.local("a"), 0));
+  T.write(Y, 1);
+  B.beginTxn(1).write(X, 4);
+  Program P = B.build();
+
+  // Branch 1: read from init (a == 0) then abort.
+  History HAbort = LitmusBuilder(2)
+                       .txn(0, 0).rInit(X).abort()
+                       .build();
+  EXPECT_TRUE(replayCursor(P, HAbort, 1).Finished);
+
+  // Branch 2: read from t1.0 (a == 4), abort skipped, write y.
+  History HWrite = LitmusBuilder(2)
+                       .txn(1, 0).w(X, 4).commit()
+                       .txn(0, 0).r(X, uid(1, 0)).w(Y, 1).commit()
+                       .build();
+  TxnCursor Cur = replayCursor(P, HWrite, 2);
+  EXPECT_TRUE(Cur.Finished);
+}
+
+TEST(FinalStatesTest, ExposesLocals) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 4);
+  auto T = B.beginTxn(1);
+  T.read("a", X);
+  Program P = B.build();
+
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 4).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  FinalStates States = computeFinalStates(P, H);
+  EXPECT_TRUE(States.ran(0, 0));
+  EXPECT_TRUE(States.ran(1, 0));
+  EXPECT_EQ(States.local(1, 0, "a"), 4);
+}
+
+TEST(FinalStatesTest, ReplayAllCursors) {
+  ProgramBuilder B;
+  VarId X = B.var("x");
+  B.beginTxn(0).write(X, 4);
+  auto T = B.beginTxn(1);
+  T.read("a", X);
+  Program P = B.build();
+  History H = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 4).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  CursorMap Cursors = replayAllCursors(P, H);
+  EXPECT_EQ(Cursors.size(), 2u);
+  EXPECT_TRUE(Cursors.at(uid(0, 0).packed()).Finished);
+  EXPECT_TRUE(Cursors.at(uid(1, 0).packed()).Finished);
+}

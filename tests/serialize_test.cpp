@@ -1,0 +1,112 @@
+//===- tests/serialize_test.cpp - History round-trip tests ----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Serialize.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace txdpor;
+using namespace txdpor::test;
+
+namespace {
+constexpr VarId X = 0;
+constexpr VarId Y = 1;
+} // namespace
+
+TEST(SerializeTest, WriteShape) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).w(Y, -3).abort()
+                  .build();
+  std::string Text = writeHistory(H);
+  EXPECT_NE(Text.find("txn init begin write x0 = 0 write x1 = 0 commit"),
+            std::string::npos);
+  EXPECT_NE(Text.find("txn t0.0 begin write x0 = 1 commit"),
+            std::string::npos);
+  EXPECT_NE(Text.find("txn t1.0 begin read x0 <- t0.0 write x1 = -3 abort"),
+            std::string::npos);
+}
+
+TEST(SerializeTest, RoundTripLitmus) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).w(X, 1).w(Y, 2).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).rPlain(Y).commit()
+                  .txn(0, 1).r(Y, TxnUid::init()).abort()
+                  .build();
+  std::optional<History> Parsed = parseHistory(writeHistory(H));
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_TRUE(Parsed->sameHistory(H));
+  // Block order preserved too.
+  for (unsigned I = 0; I != H.numTxns(); ++I)
+    EXPECT_EQ(Parsed->txn(I).uid(), H.txn(I).uid());
+}
+
+TEST(SerializeTest, RoundTripRandomHistories) {
+  Rng R(808);
+  RandomHistorySpec Spec;
+  Spec.NumSessions = 3;
+  Spec.TxnsPerSession = 2;
+  Spec.NumVars = 3;
+  for (unsigned Iter = 0; Iter != 30; ++Iter) {
+    History H = makeRandomHistory(R, Spec);
+    std::string Text = writeHistory(H);
+    std::optional<History> Parsed = parseHistory(Text);
+    ASSERT_TRUE(Parsed.has_value()) << Text;
+    EXPECT_TRUE(Parsed->sameHistory(H)) << Text;
+    EXPECT_EQ(writeHistory(*Parsed), Text) << "serialization not canonical";
+  }
+}
+
+TEST(SerializeTest, ParseDiagnostics) {
+  std::string Error;
+  EXPECT_FALSE(parseHistory("nonsense", &Error).has_value());
+  EXPECT_NE(Error.find("expected 'txn'"), std::string::npos);
+
+  EXPECT_FALSE(parseHistory("txn init begin commit\ntxn 0.0 frobnicate",
+                            &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("unknown event"), std::string::npos);
+
+  EXPECT_FALSE(
+      parseHistory("txn 0.0 begin commit", &Error).has_value())
+      << "missing init transaction";
+  EXPECT_NE(Error.find("init"), std::string::npos);
+
+  EXPECT_FALSE(parseHistory("txn init begin write x0 = 0 commit\n"
+                            "txn 0.0 begin read x0 <- 9.9 commit",
+                            &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("unknown transaction"), std::string::npos);
+
+  EXPECT_FALSE(parseHistory("txn init begin write x0 = 0 commit\n"
+                            "txn 0.0 begin write x1 = 1 commit\n"
+                            "txn 1.0 begin read x0 <- 0.0 commit",
+                            &Error)
+                   .has_value())
+      << "writer does not write the variable";
+  EXPECT_NE(Error.find("invalid wr dependency"), std::string::npos);
+}
+
+TEST(SerializeTest, ForwardWrReferencesAllowed) {
+  // The format permits readers serialized before their writers (not a
+  // block order the explorer would produce, but legal for archives of
+  // arbitrary histories).
+  std::optional<History> Parsed =
+      parseHistory("txn init begin write x0 = 0 commit\n"
+                   "txn 0.0 begin read x0 <- 1.0 commit\n"
+                   "txn 1.0 begin write x0 = 5 commit");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->readValue(*Parsed->indexOf({0, 0}), 1), 5);
+}
+
+TEST(SerializeTest, BlankLinesIgnored) {
+  std::optional<History> Parsed =
+      parseHistory("\ntxn init begin write x0 = 0 commit\n\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->numTxns(), 1u);
+}

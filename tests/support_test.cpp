@@ -1,0 +1,270 @@
+//===- tests/support_test.cpp - Relation / RNG / table utilities ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+#include "support/Relation.h"
+#include "support/Rng.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace txdpor;
+
+TEST(RelationTest, SetGetClear) {
+  Relation R(5);
+  EXPECT_FALSE(R.get(1, 2));
+  R.set(1, 2);
+  EXPECT_TRUE(R.get(1, 2));
+  EXPECT_FALSE(R.get(2, 1));
+  R.clear(1, 2);
+  EXPECT_FALSE(R.get(1, 2));
+}
+
+TEST(RelationTest, UnionAndEquality) {
+  Relation A(4), B(4);
+  A.set(0, 1);
+  B.set(2, 3);
+  Relation U = Relation::unionOf(A, B);
+  EXPECT_TRUE(U.get(0, 1));
+  EXPECT_TRUE(U.get(2, 3));
+  EXPECT_EQ(U.countPairs(), 2u);
+  EXPECT_NE(A, B);
+  A.unionWith(B);
+  EXPECT_EQ(A, U);
+}
+
+TEST(RelationTest, TransitiveClosureChain) {
+  Relation R(4);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(2, 3);
+  Relation C = R.transitiveClosure();
+  EXPECT_TRUE(C.get(0, 3));
+  EXPECT_TRUE(C.get(1, 3));
+  EXPECT_FALSE(C.get(3, 0));
+  EXPECT_FALSE(C.get(0, 0)) << "closure of an acyclic chain is irreflexive";
+}
+
+TEST(RelationTest, TransitiveClosureCycleIsReflexiveOnCycle) {
+  Relation R(3);
+  R.set(0, 1);
+  R.set(1, 0);
+  Relation C = R.transitiveClosure();
+  EXPECT_TRUE(C.get(0, 0));
+  EXPECT_TRUE(C.get(1, 1));
+  EXPECT_FALSE(C.get(2, 2));
+}
+
+TEST(RelationTest, Composition) {
+  Relation A(4), B(4);
+  A.set(0, 1);
+  A.set(2, 3);
+  B.set(1, 2);
+  Relation AB = A.composeWith(B);
+  EXPECT_TRUE(AB.get(0, 2));
+  EXPECT_EQ(AB.countPairs(), 1u);
+}
+
+TEST(RelationTest, Acyclicity) {
+  Relation R(4);
+  R.set(0, 1);
+  R.set(1, 2);
+  EXPECT_TRUE(R.isAcyclic());
+  R.set(2, 0);
+  EXPECT_FALSE(R.isAcyclic());
+}
+
+TEST(RelationTest, SelfLoopIsCycle) {
+  Relation R(2);
+  R.set(1, 1);
+  EXPECT_FALSE(R.isAcyclic());
+}
+
+TEST(RelationTest, TopologicalOrderRespectsEdges) {
+  Relation R(5);
+  R.set(3, 1);
+  R.set(1, 0);
+  R.set(4, 2);
+  std::vector<unsigned> Order;
+  ASSERT_TRUE(R.topologicalOrder(Order));
+  ASSERT_EQ(Order.size(), 5u);
+  std::vector<unsigned> Pos(5);
+  for (unsigned I = 0; I != 5; ++I)
+    Pos[Order[I]] = I;
+  EXPECT_LT(Pos[3], Pos[1]);
+  EXPECT_LT(Pos[1], Pos[0]);
+  EXPECT_LT(Pos[4], Pos[2]);
+}
+
+TEST(RelationTest, SuccessorsEnumeration) {
+  Relation R(70); // Force multiple 64-bit words per row.
+  R.set(1, 0);
+  R.set(1, 63);
+  R.set(1, 64);
+  R.set(1, 69);
+  EXPECT_EQ(R.successors(1), (std::vector<unsigned>{0, 63, 64, 69}));
+}
+
+TEST(RelationTest, TotalOrderCandidate) {
+  Relation R(3);
+  R.set(0, 1);
+  R.set(1, 2);
+  R.set(0, 2);
+  EXPECT_TRUE(R.isTotalOrderCandidate());
+  R.clear(0, 2);
+  EXPECT_FALSE(R.isTotalOrderCandidate());
+}
+
+namespace {
+
+/// Deterministic random relation over \p N nodes with edge probability
+/// Percent/100.
+txdpor::Relation randomRelation(unsigned N, unsigned Percent,
+                                uint64_t Seed) {
+  txdpor::Rng R(Seed);
+  txdpor::Relation Rel(N);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (A != B && R.chance(Percent, 100))
+        Rel.set(A, B);
+  return Rel;
+}
+
+} // namespace
+
+class RelationPropertyTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(RelationPropertyTest, ClosureIsIdempotentAndExtensive) {
+  auto [N, Percent] = GetParam();
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Relation R = randomRelation(N, Percent, Seed);
+    Relation C = R.transitiveClosure();
+    // Extensive: closure contains the base relation.
+    for (unsigned A = 0; A != N; ++A)
+      for (unsigned B = 0; B != N; ++B)
+        if (R.get(A, B))
+          EXPECT_TRUE(C.get(A, B));
+    // Idempotent.
+    EXPECT_EQ(C.transitiveClosure(), C);
+    // Transitive: C ∘ C ⊆ C.
+    Relation CC = C.composeWith(C);
+    for (unsigned A = 0; A != N; ++A)
+      for (unsigned B = 0; B != N; ++B)
+        if (CC.get(A, B))
+          EXPECT_TRUE(C.get(A, B));
+  }
+}
+
+TEST_P(RelationPropertyTest, ClosureViaCompositionFixpoint) {
+  auto [N, Percent] = GetParam();
+  for (uint64_t Seed = 20; Seed <= 25; ++Seed) {
+    Relation R = randomRelation(N, Percent, Seed);
+    // Naive fixpoint: repeatedly union R ∘ C into C.
+    Relation Expected = R;
+    for (;;) {
+      Relation Next = Relation::unionOf(Expected,
+                                        Expected.composeWith(R));
+      if (Next == Expected)
+        break;
+      Expected = Next;
+    }
+    EXPECT_EQ(R.transitiveClosure(), Expected);
+  }
+}
+
+TEST_P(RelationPropertyTest, TopologicalOrderIffAcyclic) {
+  auto [N, Percent] = GetParam();
+  for (uint64_t Seed = 40; Seed <= 50; ++Seed) {
+    Relation R = randomRelation(N, Percent, Seed);
+    std::vector<unsigned> Order;
+    bool HasOrder = R.topologicalOrder(Order);
+    EXPECT_EQ(HasOrder, R.isAcyclic());
+    if (HasOrder) {
+      ASSERT_EQ(Order.size(), N);
+      std::vector<unsigned> Pos(N);
+      for (unsigned I = 0; I != N; ++I)
+        Pos[Order[I]] = I;
+      for (unsigned A = 0; A != N; ++A)
+        for (unsigned B = 0; B != N; ++B)
+          if (R.get(A, B))
+            EXPECT_LT(Pos[A], Pos[B]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RelationPropertyTest,
+    ::testing::Values(std::make_pair(3u, 30u), std::make_pair(8u, 15u),
+                      std::make_pair(8u, 40u), std::make_pair(20u, 8u),
+                      std::make_pair(70u, 3u)),
+    [](const auto &Info) {
+      return "n" + std::to_string(Info.param.first) + "p" +
+             std::to_string(Info.param.second);
+    });
+
+TEST(RngTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDifferent |= (A.next() != B.next());
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(DeadlineTest, NeverExpires) {
+  Deadline D = Deadline::never();
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_FALSE(D.expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline D = Deadline::afterMillis(1);
+  // Burn well past 1ms; the poll is sampled so loop enough times.
+  Stopwatch Timer;
+  while (Timer.elapsedMillis() < 20)
+    ;
+  bool Expired = false;
+  for (int I = 0; I != 200; ++I)
+    Expired |= D.expired();
+  EXPECT_TRUE(Expired);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "23"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatMillis) {
+  EXPECT_EQ(TablePrinter::formatMillis(0, false), "00:00.000");
+  EXPECT_EQ(TablePrinter::formatMillis(61234, false), "01:01.234");
+  EXPECT_EQ(TablePrinter::formatMillis(1, true), "TL");
+}

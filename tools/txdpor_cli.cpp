@@ -1,0 +1,312 @@
+//===- tools/txdpor_cli.cpp - Command-line front end ----------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end over the library: generate a benchmark client
+/// program, explore it with any of the paper's algorithms (or the DFS /
+/// random-walk baselines), print statistics, optionally dump histories,
+/// classify outputs against a stronger level with violation explanations,
+/// and export witnesses as Graphviz.
+///
+/// Examples:
+///   txdpor-cli --app tpcc --sessions 3 --txns 3 --base CC
+///   txdpor-cli --app courseware --base CC --classify SER --print-witness
+///   txdpor-cli --app twitter --walks 500
+///   txdpor-cli --app wikipedia --base RC --filter CC --budget-ms 5000
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Applications.h"
+#include "consistency/Explain.h"
+#include "core/Enumerate.h"
+#include "core/RandomWalk.h"
+#include "history/Dot.h"
+#include "history/Serialize.h"
+#include "support/TablePrinter.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+using namespace txdpor;
+
+namespace {
+
+struct CliOptions {
+  AppKind App = AppKind::Tpcc;
+  unsigned Sessions = 3;
+  unsigned Txns = 3;
+  uint64_t Seed = 1;
+  IsolationLevel Base = IsolationLevel::CausalConsistency;
+  std::optional<IsolationLevel> Filter;
+  std::optional<IsolationLevel> Classify;
+  bool UseDfs = false;
+  std::optional<uint64_t> Walks;
+  int64_t BudgetMs = 30000;
+  bool PrintProgram = false;
+  bool PrintHistories = false;
+  bool PrintWitness = false;
+  bool Minimize = false;
+  std::string DotFile;
+  std::string SaveFile;
+};
+
+void printUsage() {
+  std::cout <<
+      "txdpor-cli: stateless model checking for transactional programs\n"
+      "\n"
+      "  --app NAME          shoppingCart|twitter|courseware|wikipedia|tpcc\n"
+      "  --sessions N        sessions in the client program (default 3)\n"
+      "  --txns N            transactions per session (default 3)\n"
+      "  --seed N            client-generation seed (default 1)\n"
+      "  --base LEVEL        explore-ce base: true|RC|RA|CC (default CC)\n"
+      "  --filter LEVEL      explore-ce* filter: RC|RA|CC|SI|SER\n"
+      "  --classify LEVEL    classify outputs against LEVEL, explain the\n"
+      "                      first violation\n"
+      "  --dfs               run the no-POR DFS baseline instead\n"
+      "  --walks N           run N random-walk samples instead\n"
+      "  --budget-ms N       wall-clock budget (default 30000)\n"
+      "  --print-program     dump the generated program\n"
+      "  --print-histories   dump every output history\n"
+      "  --print-witness     dump the first classified violation\n"
+      "  --minimize          shrink the violation witness to its core\n"
+      "  --dot FILE          write the first history (or witness) as dot\n"
+      "  --save FILE         archive all output histories (text format)\n";
+}
+
+std::optional<IsolationLevel> parseLevel(const std::string &Name) {
+  for (IsolationLevel Level : AllIsolationLevels)
+    if (Name == isolationLevelName(Level))
+      return Level;
+  return std::nullopt;
+}
+
+std::optional<AppKind> parseApp(const std::string &Name) {
+  for (AppKind App : AllApps)
+    if (Name == appName(App))
+      return App;
+  return std::nullopt;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  auto NeedValue = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::cerr << "error: " << Argv[I] << " needs a value\n";
+      return nullptr;
+    }
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    }
+    const char *Value = nullptr;
+    if (Arg == "--app") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      std::optional<AppKind> App = parseApp(Value);
+      if (!App) {
+        std::cerr << "error: unknown application '" << Value << "'\n";
+        return false;
+      }
+      Options.App = *App;
+    } else if (Arg == "--sessions") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.Sessions = static_cast<unsigned>(std::atoi(Value));
+    } else if (Arg == "--txns") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.Txns = static_cast<unsigned>(std::atoi(Value));
+    } else if (Arg == "--seed") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.Seed = static_cast<uint64_t>(std::atoll(Value));
+    } else if (Arg == "--base" || Arg == "--filter" || Arg == "--classify") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      std::optional<IsolationLevel> Level = parseLevel(Value);
+      if (!Level) {
+        std::cerr << "error: unknown isolation level '" << Value << "'\n";
+        return false;
+      }
+      if (Arg == "--base")
+        Options.Base = *Level;
+      else if (Arg == "--filter")
+        Options.Filter = *Level;
+      else
+        Options.Classify = *Level;
+    } else if (Arg == "--dfs") {
+      Options.UseDfs = true;
+    } else if (Arg == "--walks") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.Walks = static_cast<uint64_t>(std::atoll(Value));
+    } else if (Arg == "--budget-ms") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.BudgetMs = std::atoll(Value);
+    } else if (Arg == "--print-program") {
+      Options.PrintProgram = true;
+    } else if (Arg == "--print-histories") {
+      Options.PrintHistories = true;
+    } else if (Arg == "--print-witness") {
+      Options.PrintWitness = true;
+    } else if (Arg == "--minimize") {
+      Options.Minimize = true;
+    } else if (Arg == "--dot") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.DotFile = Value;
+    } else if (Arg == "--save") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      Options.SaveFile = Value;
+    } else {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      printUsage();
+      return false;
+    }
+  }
+  if (Options.Base != IsolationLevel::Trivial &&
+      !isPrefixClosedCausallyExtensible(Options.Base)) {
+    std::cerr << "error: --base must be one of true, RC, RA, CC (§5)\n";
+    return false;
+  }
+  if (Options.Filter && !isWeakerOrEqual(Options.Base, *Options.Filter)) {
+    std::cerr << "error: --base must be weaker than --filter (Cor. 6.2)\n";
+    return false;
+  }
+  return true;
+}
+
+void writeDot(const std::string &File, const History &H,
+              const VarNameFn &Names) {
+  DotOptions DotOpts;
+  DotOpts.VarNames = &Names;
+  std::ofstream OS(File);
+  if (!OS) {
+    std::cerr << "error: cannot open '" << File << "' for writing\n";
+    return;
+  }
+  OS << renderDot(H, DotOpts);
+  std::cout << "wrote " << File << '\n';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options))
+    return 1;
+
+  ClientSpec Spec;
+  Spec.Sessions = Options.Sessions;
+  Spec.TxnsPerSession = Options.Txns;
+  Spec.Seed = Options.Seed;
+  Program P = makeClientProgram(Options.App, Spec);
+  VarNameFn Names = P.varNameFn();
+
+  std::cout << "client: " << appName(Options.App) << " seed " << Options.Seed
+            << ", " << Options.Sessions << " sessions x " << Options.Txns
+            << " txns\n";
+  if (Options.PrintProgram)
+    std::cout << '\n' << P.str() << '\n';
+
+  if (Options.Walks) {
+    RandomWalkConfig Config;
+    Config.Level = Options.Base;
+    Config.NumWalks = *Options.Walks;
+    Config.Seed = Options.Seed;
+    Config.TimeBudget = Deadline::afterMillis(Options.BudgetMs);
+    RandomWalkStats Stats = randomWalkProgram(P, Config);
+    std::cout << "random-walk(" << isolationLevelName(Options.Base)
+              << "): " << Stats.Walks << " walks, "
+              << Stats.DistinctHistories << " distinct histories, "
+              << Stats.ElapsedMillis << " ms"
+              << (Stats.TimedOut ? " (timed out)" : "") << '\n';
+    return 0;
+  }
+
+  if (Options.UseDfs) {
+    NaiveDfsConfig Config;
+    Config.Level = Options.Base;
+    Config.TimeBudget = Deadline::afterMillis(Options.BudgetMs);
+    ExplorerStats Stats = naiveDfsProgram(P, Config);
+    std::cout << "DFS(" << isolationLevelName(Options.Base)
+              << "): " << Stats.EndStates << " end states, "
+              << Stats.ElapsedMillis << " ms"
+              << (Stats.TimedOut ? " (timed out)" : "") << '\n';
+    return 0;
+  }
+
+  ExplorerConfig Config;
+  Config.BaseLevel = Options.Base;
+  Config.FilterLevel = Options.Filter;
+  Config.TimeBudget = Deadline::afterMillis(Options.BudgetMs);
+
+  std::vector<History> Violations;
+  uint64_t Outputs = 0;
+  std::optional<History> First;
+  std::ofstream Archive;
+  if (!Options.SaveFile.empty()) {
+    Archive.open(Options.SaveFile);
+    if (!Archive) {
+      std::cerr << "error: cannot open '" << Options.SaveFile << "'\n";
+      return 1;
+    }
+  }
+  Explorer E(P, Config);
+  ExplorerStats Stats = E.run([&](const History &H) {
+    ++Outputs;
+    if (!First)
+      First = H;
+    if (Options.PrintHistories)
+      std::cout << "--- history " << Outputs << " ---\n" << H.str(&Names);
+    if (Archive.is_open())
+      Archive << writeHistory(H) << '\n';
+    if (Options.Classify && !isConsistent(H, *Options.Classify))
+      Violations.push_back(H);
+  });
+  if (Archive.is_open())
+    std::cout << "archived " << Outputs << " histories to "
+              << Options.SaveFile << '\n';
+
+  std::cout << Config.algorithmName() << ": " << Stats.Outputs
+            << " histories, " << Stats.EndStates << " end states, "
+            << Stats.ExploreCalls << " explore calls, "
+            << Stats.SwapsApplied << " swaps, " << Stats.ElapsedMillis
+            << " ms" << (Stats.TimedOut ? " (timed out)" : "") << '\n';
+
+  if (Options.Classify) {
+    std::cout << "classification against "
+              << isolationLevelName(*Options.Classify) << ": "
+              << Violations.size() << " of " << Stats.Outputs
+              << " histories violate it\n";
+    if (!Violations.empty()) {
+      History Witness = Options.Minimize
+                            ? minimizeViolation(Violations.front(),
+                                                *Options.Classify)
+                            : Violations.front();
+      ViolationExplanation Explanation =
+          explainViolation(Witness, *Options.Classify, &Names);
+      std::cout << Explanation.Text;
+      if (Options.PrintWitness)
+        std::cout << "witness"
+                  << (Options.Minimize ? " (minimized)" : "") << ":\n"
+                  << Witness.str(&Names);
+      if (!Options.DotFile.empty())
+        writeDot(Options.DotFile, Witness, Names);
+      return 0;
+    }
+  }
+  if (!Options.DotFile.empty() && First)
+    writeDot(Options.DotFile, *First, Names);
+  return 0;
+}
