@@ -7,6 +7,8 @@
 
 #include "BenchCommon.h"
 
+#include "parallel/ParallelExplorer.h"
+
 #include <cstdlib>
 
 using namespace txdpor;
@@ -34,6 +36,14 @@ AlgorithmSpec AlgorithmSpec::baselineDfs(IsolationLevel Level) {
   Spec.Name = std::string("DFS(") + isolationLevelName(Level) + ")";
   Spec.IsBaselineDfs = true;
   Spec.BaseLevel = Level;
+  return Spec;
+}
+
+AlgorithmSpec AlgorithmSpec::exploreCEParallel(IsolationLevel Base,
+                                               unsigned Threads) {
+  AlgorithmSpec Spec = exploreCE(Base);
+  Spec.Name += "/t" + std::to_string(Threads);
+  Spec.Threads = Threads;
   return Spec;
 }
 
@@ -67,13 +77,11 @@ RunResult txdpor::bench::runAlgorithm(const Program &Prog,
     Config.BaseLevel = Algo.BaseLevel;
     Config.FilterLevel = Algo.FilterLevel;
     Config.TimeBudget = Deadline::afterMillis(BudgetMs);
-    Stats = exploreProgram(Prog, Config);
+    Config.Threads = Algo.Threads;
+    Stats = Algo.Threads > 1 ? exploreProgramParallel(Prog, Config)
+                             : exploreProgram(Prog, Config);
   }
-  Result.Histories = Stats.Outputs;
-  Result.EndStates = Stats.EndStates;
-  Result.Millis = Stats.ElapsedMillis;
-  Result.TimedOut = Stats.TimedOut;
-  Result.MemKb = Stats.PeakRssKb;
+  Result.Stats = Stats;
   return Result;
 }
 

@@ -37,28 +37,55 @@ struct AlgorithmSpec {
   bool IsBaselineDfs = false;
   IsolationLevel BaseLevel = IsolationLevel::CausalConsistency;
   std::optional<IsolationLevel> FilterLevel;
+  /// Worker threads; > 1 routes through the parallel explorer.
+  unsigned Threads = 1;
 
   static AlgorithmSpec exploreCE(IsolationLevel Base);
   static AlgorithmSpec exploreCEStar(IsolationLevel Base,
                                      IsolationLevel Filter);
   static AlgorithmSpec baselineDfs(IsolationLevel Level);
+  static AlgorithmSpec exploreCEParallel(IsolationLevel Base,
+                                         unsigned Threads);
 };
 
 /// The Fig. 14 roster: CC, CC+SI, CC+SER, RA+CC, RC+CC, true+CC, DFS(CC).
 std::vector<AlgorithmSpec> fig14Algorithms();
 
-/// Result of one (program, algorithm) run.
+/// Result of one (program, algorithm) run: the run's full statistics plus
+/// named accessors for the columns every table reports.
 struct RunResult {
-  uint64_t Histories = 0; ///< Outputs after the Valid filter.
-  uint64_t EndStates = 0; ///< Complete executions before the filter.
-  double Millis = 0;
-  bool TimedOut = false;
-  uint64_t MemKb = 0;
+  ExplorerStats Stats;
+
+  uint64_t histories() const { return Stats.Outputs; }
+  uint64_t endStates() const { return Stats.EndStates; }
+  double millis() const { return Stats.ElapsedMillis; }
+  bool timedOut() const { return Stats.TimedOut; }
+  uint64_t memKb() const { return Stats.PeakRssKb; }
 };
 
 /// Runs \p Algo on \p Prog with a \p BudgetMs wall-clock budget.
 RunResult runAlgorithm(const Program &Prog, const AlgorithmSpec &Algo,
                        int64_t BudgetMs);
+
+/// Accumulates RunResults across a series of runs. Counter aggregation
+/// goes through ExplorerStats::merge — the same routine the parallel
+/// explorer uses to fold per-worker statistics — plus run bookkeeping the
+/// merged flags cannot express (how many runs, how many timed out).
+struct Aggregate {
+  ExplorerStats Stats; ///< merge() of every run; ElapsedMillis is the sum.
+  unsigned Runs = 0;
+  unsigned Timeouts = 0;
+
+  void add(const RunResult &R) {
+    Stats.merge(R.Stats);
+    ++Runs;
+    if (R.timedOut())
+      ++Timeouts;
+  }
+  double avgMillis() const {
+    return Runs ? Stats.ElapsedMillis / Runs : 0;
+  }
+};
 
 /// Per-run budget from TXDPOR_BENCH_BUDGET_MS (default 800 ms).
 int64_t benchBudgetMs();

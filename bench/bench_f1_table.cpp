@@ -37,9 +37,9 @@ int main() {
     TablePrinter T({"benchmark", "histories", "end-states", "time", "mem-kb"});
     for (const NamedProgram &NP : Programs) {
       RunResult R = runAlgorithm(NP.Prog, Algo, Budget);
-      T.addRow({NP.Name, formatCount(R.Histories), formatCount(R.EndStates),
-                TablePrinter::formatMillis(R.Millis, R.TimedOut),
-                formatCount(R.MemKb)});
+      T.addRow({NP.Name, formatCount(R.histories()), formatCount(R.endStates()),
+                TablePrinter::formatMillis(R.millis(), R.timedOut()),
+                formatCount(R.memKb())});
     }
     T.print(std::cout);
     std::cout << '\n';

@@ -49,13 +49,13 @@ int main() {
     S.Name = Algo.Name;
     for (const NamedProgram &NP : Programs) {
       RunResult R = runAlgorithm(NP.Prog, Algo, Budget);
-      if (R.TimedOut) {
+      if (R.timedOut()) {
         ++S.Timeouts;
         continue;
       }
-      S.Millis.push_back(R.Millis);
-      S.MemKb.push_back(R.MemKb);
-      S.EndStates.push_back(R.EndStates);
+      S.Millis.push_back(R.millis());
+      S.MemKb.push_back(R.memKb());
+      S.EndStates.push_back(R.endStates());
     }
     std::sort(S.Millis.begin(), S.Millis.end());
     std::sort(S.MemKb.begin(), S.MemKb.end());

@@ -32,13 +32,7 @@ int main() {
             << " ms/run)\n\n";
 
   TablePrinter T({"benchmark", "sessions", "histories", "time", "mem-kb"});
-  struct Avg {
-    double TimeMs = 0;
-    double MemKb = 0;
-    unsigned Timeouts = 0;
-    unsigned Runs = 0;
-  };
-  std::vector<Avg> Averages(6);
+  std::vector<Aggregate> Averages(6);
 
   for (unsigned Sessions = 1; Sessions <= 5; ++Sessions) {
     for (AppKind App : {AppKind::Tpcc, AppKind::Wikipedia}) {
@@ -50,14 +44,10 @@ int main() {
         Program P = makeClientProgram(App, Spec);
         RunResult R = runAlgorithm(P, Algo, Budget);
         T.addRow({clientName(App, Client), std::to_string(Sessions),
-                  formatCount(R.Histories),
-                  TablePrinter::formatMillis(R.Millis, R.TimedOut),
-                  formatCount(R.MemKb)});
-        Avg &A = Averages[Sessions];
-        A.TimeMs += R.Millis;
-        A.MemKb += double(R.MemKb);
-        A.Timeouts += R.TimedOut ? 1 : 0;
-        ++A.Runs;
+                  formatCount(R.histories()),
+                  TablePrinter::formatMillis(R.millis(), R.timedOut()),
+                  formatCount(R.memKb())});
+        Averages[Sessions].add(R);
       }
     }
   }
@@ -65,12 +55,12 @@ int main() {
 
   std::cout << "\n== Averages per session count (timeouts included at "
                "budget, like the paper) ==\n";
-  TablePrinter S({"sessions", "avg-time-ms", "avg-mem-kb", "timeouts"});
+  TablePrinter S({"sessions", "avg-time-ms", "peak-mem-kb", "timeouts"});
   for (unsigned Sessions = 1; Sessions <= 5; ++Sessions) {
-    const Avg &A = Averages[Sessions];
+    const Aggregate &A = Averages[Sessions];
     S.addRow({std::to_string(Sessions),
-              std::to_string(static_cast<long long>(A.TimeMs / A.Runs)),
-              std::to_string(static_cast<long long>(A.MemKb / A.Runs)),
+              std::to_string(static_cast<long long>(A.avgMillis())),
+              formatCount(A.Stats.PeakRssKb),
               std::to_string(A.Timeouts)});
   }
   S.print(std::cout);

@@ -31,13 +31,7 @@ int main() {
             << " ms/run)\n\n";
 
   TablePrinter T({"benchmark", "txns/session", "histories", "time", "mem-kb"});
-  struct Avg {
-    double TimeMs = 0;
-    double MemKb = 0;
-    unsigned Timeouts = 0;
-    unsigned Runs = 0;
-  };
-  std::vector<Avg> Averages(6);
+  std::vector<Aggregate> Averages(6);
 
   for (unsigned Txns = 1; Txns <= 5; ++Txns) {
     for (AppKind App : {AppKind::Tpcc, AppKind::Wikipedia}) {
@@ -49,26 +43,22 @@ int main() {
         Program P = makeClientProgram(App, Spec);
         RunResult R = runAlgorithm(P, Algo, Budget);
         T.addRow({clientName(App, Client), std::to_string(Txns),
-                  formatCount(R.Histories),
-                  TablePrinter::formatMillis(R.Millis, R.TimedOut),
-                  formatCount(R.MemKb)});
-        Avg &A = Averages[Txns];
-        A.TimeMs += R.Millis;
-        A.MemKb += double(R.MemKb);
-        A.Timeouts += R.TimedOut ? 1 : 0;
-        ++A.Runs;
+                  formatCount(R.histories()),
+                  TablePrinter::formatMillis(R.millis(), R.timedOut()),
+                  formatCount(R.memKb())});
+        Averages[Txns].add(R);
       }
     }
   }
   T.print(std::cout);
 
   std::cout << "\n== Averages per transactions-per-session ==\n";
-  TablePrinter S({"txns/session", "avg-time-ms", "avg-mem-kb", "timeouts"});
+  TablePrinter S({"txns/session", "avg-time-ms", "peak-mem-kb", "timeouts"});
   for (unsigned Txns = 1; Txns <= 5; ++Txns) {
-    const Avg &A = Averages[Txns];
+    const Aggregate &A = Averages[Txns];
     S.addRow({std::to_string(Txns),
-              std::to_string(static_cast<long long>(A.TimeMs / A.Runs)),
-              std::to_string(static_cast<long long>(A.MemKb / A.Runs)),
+              std::to_string(static_cast<long long>(A.avgMillis())),
+              formatCount(A.Stats.PeakRssKb),
               std::to_string(A.Timeouts)});
   }
   S.print(std::cout);

@@ -1,0 +1,180 @@
+//===- bench/bench_parallel_scaling.cpp - Parallel explorer speedups ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-scaling curves for the parallel exploration engine: TPC-C,
+/// Courseware and Twitter clients explored with 1/2/4/8 worker threads
+/// under explore-ce(CC). Reports per-configuration wall time and the
+/// speedup over the 1-thread run, and verifies on the fly that every
+/// thread count produced the same history and end-state counts (the
+/// engine's determinism guarantee).
+///
+/// Besides the human-readable table, dumps the whole series as JSON (by
+/// default BENCH_parallel.json, overridable via TXDPOR_BENCH_JSON) so
+/// future PRs can track the scaling trajectory mechanically.
+///
+/// Environment knobs (see BenchCommon.h): TXDPOR_BENCH_BUDGET_MS scales
+/// the per-run budget (default 800 ms — raise it on real hardware to let
+/// the larger configurations finish and show their full speedup).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+
+namespace {
+
+struct ScalingRun {
+  std::string App;
+  unsigned Sessions = 0;
+  unsigned Txns = 0;
+  unsigned Threads = 0;
+  RunResult Result;
+  double Speedup = 0; ///< t(1 thread) / t(this run); 0 when unknown.
+};
+
+std::string formatSpeedup(const ScalingRun &Run) {
+  if (Run.Threads == 1)
+    return Run.Result.timedOut() ? "-" : "1.00x";
+  if (Run.Speedup <= 0 || Run.Result.timedOut())
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2fx", Run.Speedup);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  int64_t Budget = benchBudgetMs();
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+
+  std::cout << "Parallel scaling of explore-ce(CC): frontier split + "
+               "work-stealing workers (budget "
+            << Budget << " ms/run, "
+            << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+
+  struct Shape {
+    AppKind App;
+    unsigned Sessions, Txns;
+  };
+  std::vector<Shape> Shapes = {
+      {AppKind::Tpcc, 3, 3},       {AppKind::Tpcc, 4, 3},
+      {AppKind::Courseware, 3, 3}, {AppKind::Courseware, 4, 3},
+      {AppKind::Twitter, 4, 3},
+  };
+  // Opt-in shapes that take tens of seconds sequentially — the regime
+  // where near-linear speedups show; raise TXDPOR_BENCH_BUDGET_MS too.
+  const char *Large = std::getenv("TXDPOR_BENCH_LARGE");
+  if (Large && *Large && *Large != '0') {
+    Shapes.push_back({AppKind::Tpcc, 5, 4});
+    Shapes.push_back({AppKind::Courseware, 5, 3});
+  }
+
+  TablePrinter T({"benchmark", "sessions", "txns", "threads", "histories",
+                  "end-states", "time", "speedup", "mem-kb"});
+  std::vector<ScalingRun> Runs;
+  bool Deterministic = true;
+
+  for (const Shape &Sh : Shapes) {
+    ClientSpec Spec;
+    Spec.Sessions = Sh.Sessions;
+    Spec.TxnsPerSession = Sh.Txns;
+    Spec.Seed = 1;
+    Program P = makeClientProgram(Sh.App, Spec);
+
+    double BaselineMillis = 0;
+    uint64_t BaselineHistories = 0;
+    bool BaselineTimedOut = false;
+    for (unsigned Threads : ThreadCounts) {
+      AlgorithmSpec Algo = AlgorithmSpec::exploreCEParallel(
+          IsolationLevel::CausalConsistency, Threads);
+      ScalingRun Run;
+      Run.App = appName(Sh.App);
+      Run.Sessions = Sh.Sessions;
+      Run.Txns = Sh.Txns;
+      Run.Threads = Threads;
+      Run.Result = runAlgorithm(P, Algo, Budget);
+      if (Threads == 1) {
+        BaselineMillis = Run.Result.millis();
+        BaselineHistories = Run.Result.histories();
+        BaselineTimedOut = Run.Result.timedOut();
+      } else {
+        // A speedup is only meaningful between two *completed* runs; a
+        // timed-out baseline would inflate every ratio computed from it.
+        if (!BaselineTimedOut && !Run.Result.timedOut() &&
+            Run.Result.millis() > 0)
+          Run.Speedup = BaselineMillis / Run.Result.millis();
+        // The determinism guarantee only binds complete runs.
+        if (!BaselineTimedOut && !Run.Result.timedOut() &&
+            Run.Result.histories() != BaselineHistories) {
+          Deterministic = false;
+          std::cerr << "DETERMINISM VIOLATION: " << Run.App << " "
+                    << Sh.Sessions << "x" << Sh.Txns << " @ " << Threads
+                    << " threads: " << Run.Result.histories()
+                    << " histories vs " << BaselineHistories << "\n";
+        }
+      }
+      T.addRow({Run.App, std::to_string(Sh.Sessions),
+                std::to_string(Sh.Txns), std::to_string(Threads),
+                formatCount(Run.Result.histories()),
+                formatCount(Run.Result.endStates()),
+                TablePrinter::formatMillis(Run.Result.millis(),
+                                           Run.Result.timedOut()),
+                formatSpeedup(Run), formatCount(Run.Result.memKb())});
+      Runs.push_back(std::move(Run));
+    }
+  }
+  T.print(std::cout);
+
+  const char *JsonPath = std::getenv("TXDPOR_BENCH_JSON");
+  if (!JsonPath || !*JsonPath)
+    JsonPath = "BENCH_parallel.json";
+  std::ofstream OS(JsonPath);
+  if (!OS) {
+    std::cerr << "error: cannot open '" << JsonPath << "' for writing\n";
+    return 1;
+  }
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("bench").value("parallel_scaling");
+  J.key("algorithm").value("explore-ce(CC)");
+  J.key("budget_ms").value(static_cast<int64_t>(Budget));
+  J.key("hardware_threads").value(std::thread::hardware_concurrency());
+  J.key("runs").beginArray();
+  for (const ScalingRun &Run : Runs) {
+    J.beginObject();
+    J.key("app").value(Run.App);
+    J.key("sessions").value(Run.Sessions);
+    J.key("txns_per_session").value(Run.Txns);
+    J.key("threads").value(Run.Threads);
+    J.key("histories").value(Run.Result.histories());
+    J.key("end_states").value(Run.Result.endStates());
+    J.key("millis").value(Run.Result.millis());
+    J.key("speedup").value(Run.Speedup);
+    J.key("timed_out").value(Run.Result.timedOut());
+    J.key("mem_kb").value(Run.Result.memKb());
+    J.key("explore_calls").value(Run.Result.Stats.ExploreCalls);
+    J.key("swaps_applied").value(Run.Result.Stats.SwapsApplied);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+  std::cout << "\nwrote " << JsonPath << '\n';
+
+  return Deterministic ? 0 : 1;
+}

@@ -1,0 +1,264 @@
+//===- core/Engine.cpp - Reusable single-step exploration engine ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+using namespace txdpor;
+
+ExplorationEngine::ExplorationEngine(const Program &Prog,
+                                     ExplorerConfig Config)
+    : Prog(Prog), Config(std::move(Config)),
+      Base(checkerFor(this->Config.BaseLevel)) {
+  assert(isPrefixClosedCausallyExtensible(this->Config.BaseLevel) &&
+         "BaseLevel must be prefix-closed and causally extensible (§5)");
+  if (this->Config.FilterLevel) {
+    assert(isWeakerOrEqual(this->Config.BaseLevel,
+                           *this->Config.FilterLevel) &&
+           "BaseLevel must be weaker than the filter level (Cor. 6.2)");
+    Filter = &checkerFor(*this->Config.FilterLevel);
+  }
+  if (this->Config.OracleOrderOverride.empty()) {
+    OracleSequence = Prog.oracleOrder();
+  } else {
+    OracleSequence = this->Config.OracleOrderOverride;
+    assert(OracleSequence.size() == Prog.totalTxns() &&
+           "oracle order must cover the whole program");
+    Order = OracleOrder::fromSequence(OracleSequence);
+  }
+}
+
+WorkItem ExplorationEngine::initialItem() const {
+  return {History::makeInitial(Prog.numVars()), CursorMap(), /*Depth=*/1};
+}
+
+bool ExplorationEngine::shouldStop(ExplorationSink &S) const {
+  if (S.Stop)
+    return true;
+  if (S.SharedStop && S.SharedStop->load(std::memory_order_relaxed)) {
+    S.Stop = true;
+    return true;
+  }
+  if (S.TimeBudget.expired()) {
+    S.Stats.TimedOut = true;
+    S.Stop = true;
+    if (S.SharedStop)
+      S.SharedStop->store(true, std::memory_order_relaxed);
+  }
+  return S.Stop;
+}
+
+ExplorationEngine::NextOp
+ExplorationEngine::computeNext(const History &H,
+                               const CursorMap &Cursors) const {
+  NextOp Result;
+  // Complete the unique pending transaction first (§5.1): this maintains
+  // the at-most-one-pending invariant on which causal extensibility (and
+  // hence never blocking) relies.
+  if (std::optional<unsigned> Pending = H.pendingTxn()) {
+    TxnUid Uid = H.txn(*Pending).uid();
+    Result.Uid = Uid;
+    Result.Advanced = Cursors.at(Uid.packed());
+    Result.Op = advanceToDbOp(Prog.txn(Uid), Result.Advanced);
+    return Result;
+  }
+  // Otherwise start the oracle-least not-yet-started transaction.
+  for (TxnUid Uid : OracleSequence) {
+    if (H.contains(Uid))
+      continue;
+    Result.Uid = Uid;
+    Result.IsBegin = true;
+    return Result;
+  }
+  Result.Done = true;
+  return Result;
+}
+
+void ExplorationEngine::reachedEndState(const History &H,
+                                        ExplorationSink &S) const {
+  // Under a global budget the slot must be claimed before counting, so the
+  // total across workers never exceeds the cap; over-budget end states are
+  // dropped entirely (the run is being cut short anyway).
+  if (Config.MaxEndStates && S.SharedEndStates) {
+    uint64_t Claimed =
+        S.SharedEndStates->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Claimed > Config.MaxEndStates) {
+      S.Stop = true;
+      return;
+    }
+    if (Claimed == Config.MaxEndStates) {
+      S.Stats.HitEndStateCap = true;
+      S.Stop = true;
+      if (S.SharedStop)
+        S.SharedStop->store(true, std::memory_order_relaxed);
+    }
+  }
+  ++S.Stats.EndStates;
+  H.checkOrderConsistent();
+  assert(!H.pendingTxn() && "end state with a pending transaction");
+  bool Valid = true;
+  if (Filter) {
+    ++S.Stats.ConsistencyChecks;
+    Valid = Filter->isConsistent(H);
+  }
+  if (Valid) {
+    ++S.Stats.Outputs;
+    if (S.Visit)
+      S.Visit(H);
+  }
+  if (Config.MaxEndStates && !S.SharedEndStates &&
+      S.Stats.EndStates >= Config.MaxEndStates) {
+    S.Stats.HitEndStateCap = true;
+    S.Stop = true;
+  }
+}
+
+void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
+                                   ExplorationSink &S) const {
+  ++S.Stats.ExploreCalls;
+  if (Item.Depth > S.Stats.MaxDepth)
+    S.Stats.MaxDepth = Item.Depth;
+  if (shouldStop(S))
+    return;
+  if (S.OnExplore)
+    S.OnExplore(Item.H);
+
+  History &H = Item.H;
+  CursorMap &Cursors = Item.Cursors;
+  NextOp Next = computeNext(H, Cursors);
+  if (Next.Done) {
+    reachedEndState(H, S);
+    return;
+  }
+
+  if (Next.IsBegin) {
+    // Begin events extend deterministically; a begin is never a commit, so
+    // the swap phase would be a no-op (§5.2).
+    H.beginTxn(Next.Uid);
+    Cursors[Next.Uid.packed()] = TxnCursor::fresh(Prog.txn(Next.Uid));
+    ++S.Stats.EventsAdded;
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    return;
+  }
+
+  unsigned Idx = *H.indexOf(Next.Uid);
+  const Transaction &Code = Prog.txn(Next.Uid);
+
+  switch (Next.Op.Kind) {
+  case DbOp::Kind::Read: {
+    // Branch over ValidWrites (§5.1): committed writers of the variable
+    // whose wr choice keeps the history BaseLevel-consistent.
+    H.appendEvent(Idx, Event::makeRead(Next.Op.Var));
+    ++S.Stats.EventsAdded;
+    uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
+
+    if (!H.txn(Idx).isExternalRead(Pos)) {
+      // Read-local rule: value is fixed by the transaction itself; no wr
+      // dependency and no branching.
+      TxnCursor &Cur = Cursors[Next.Uid.packed()];
+      Cur = Next.Advanced;
+      applyRead(Code, Cur, H.readValue(Idx, Pos));
+      Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+      return;
+    }
+
+    std::vector<unsigned> Candidates;
+    for (unsigned W : H.committedWriters(Next.Op.Var)) {
+      H.setWriter(Idx, Pos, H.txn(W).uid());
+      ++S.Stats.ConsistencyChecks;
+      if (Base.isConsistent(H))
+        Candidates.push_back(W);
+    }
+    if (Candidates.empty()) {
+      // Cannot happen for causally-extensible base levels (§3.2); counted
+      // to let tests assert strong optimality.
+      ++S.Stats.BlockedReads;
+      return;
+    }
+    // Explore latest writers first (order does not affect the result set).
+    for (size_t CI = Candidates.size(); CI-- > 0;) {
+      unsigned W = Candidates[CI];
+      History Branch = H;
+      Branch.setWriter(Idx, Pos, H.txn(W).uid());
+      CursorMap BranchCursors = Cursors;
+      TxnCursor &Cur = BranchCursors[Next.Uid.packed()];
+      Cur = Next.Advanced;
+      applyRead(Code, Cur, Branch.readValue(Idx, Pos));
+      ++S.Stats.ReadBranches;
+      Out.push_back(
+          {std::move(Branch), std::move(BranchCursors), Item.Depth + 1});
+      // A read is never a commit: the swap phase would be a no-op.
+    }
+    return;
+  }
+
+  case DbOp::Kind::Write: {
+    H.appendEvent(Idx, Event::makeWrite(Next.Op.Var, Next.Op.Val));
+    ++S.Stats.EventsAdded;
+    // Causal extensibility (Thm. 3.4) guarantees writes never violate the
+    // base level when the pending transaction is (so ∪ wr)+-maximal.
+    assert(Base.isConsistent(H) && "write extension broke consistency");
+    Cursors[Next.Uid.packed()] = Next.Advanced;
+    applyWrite(Cursors[Next.Uid.packed()]);
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    return;
+  }
+
+  case DbOp::Kind::Abort: {
+    H.appendEvent(Idx, Event::makeAbort());
+    ++S.Stats.EventsAdded;
+    Cursors[Next.Uid.packed()] = Next.Advanced;
+    applyFinish(Cursors[Next.Uid.packed()]);
+    // Aborted transactions are never swap targets (§5.2, footnote 5).
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    return;
+  }
+
+  case DbOp::Kind::Commit: {
+    H.appendEvent(Idx, Event::makeCommit());
+    ++S.Stats.EventsAdded;
+    Cursors[Next.Uid.packed()] = Next.Advanced;
+    applyFinish(Cursors[Next.Uid.packed()]);
+
+    // Extension child first (the recursive driver fully explores it before
+    // any swap), then swap children in computeReorderings order (§5.2),
+    // each gated by the Optimality condition (§5.3).
+    History Committed = H;
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    for (const Reordering &R : computeReorderings(Committed)) {
+      ++S.Stats.SwapsConsidered;
+      if (!optimalityHolds(Committed, R, Base, Config.CheckSwapped,
+                           Config.CheckReadLatest,
+                           &S.Stats.ConsistencyChecks, Order))
+        continue;
+      ++S.Stats.SwapsApplied;
+      History Swapped = applySwap(Committed, R);
+      CursorMap SwapCursors = replayAllCursors(Prog, Swapped);
+      Out.push_back(
+          {std::move(Swapped), std::move(SwapCursors), Item.Depth + 1});
+    }
+    return;
+  }
+  }
+}
+
+void txdpor::drainDepthFirst(const ExplorationEngine &Engine, WorkItem Root,
+                             ExplorationSink &S) {
+  std::vector<WorkItem> Stack;
+  Stack.push_back(std::move(Root));
+  std::vector<WorkItem> Children;
+  while (!Stack.empty()) {
+    if (Engine.shouldStop(S))
+      return;
+    WorkItem Item = std::move(Stack.back());
+    Stack.pop_back();
+    Children.clear();
+    Engine.expandItem(std::move(Item), Children, S);
+    // Reverse push so children pop in the recursive visit order.
+    for (size_t I = Children.size(); I-- > 0;)
+      Stack.push_back(std::move(Children[I]));
+  }
+}

@@ -7,8 +7,9 @@
 
 #include "core/Explorer.h"
 
-#include "core/Swap.h"
 #include "support/MemoryProbe.h"
+
+#include <algorithm>
 
 using namespace txdpor;
 
@@ -19,376 +20,67 @@ std::string ExplorerConfig::algorithmName() const {
   return Name;
 }
 
-Explorer::Explorer(const Program &Prog, ExplorerConfig Config)
-    : Prog(Prog), Config(Config), Base(checkerFor(Config.BaseLevel)) {
-  assert(isPrefixClosedCausallyExtensible(Config.BaseLevel) &&
-         "BaseLevel must be prefix-closed and causally extensible (§5)");
-  if (Config.FilterLevel) {
-    assert(isWeakerOrEqual(Config.BaseLevel, *Config.FilterLevel) &&
-           "BaseLevel must be weaker than the filter level (Cor. 6.2)");
-    Filter = &checkerFor(*Config.FilterLevel);
-  }
-  if (this->Config.OracleOrderOverride.empty()) {
-    OracleSequence = Prog.oracleOrder();
-  } else {
-    OracleSequence = this->Config.OracleOrderOverride;
-    assert(OracleSequence.size() == Prog.totalTxns() &&
-           "oracle order must cover the whole program");
-    Order = OracleOrder::fromSequence(OracleSequence);
-  }
+void ExplorerStats::merge(const ExplorerStats &Other) {
+  ExploreCalls += Other.ExploreCalls;
+  EndStates += Other.EndStates;
+  Outputs += Other.Outputs;
+  EventsAdded += Other.EventsAdded;
+  ReadBranches += Other.ReadBranches;
+  BlockedReads += Other.BlockedReads;
+  SwapsConsidered += Other.SwapsConsidered;
+  SwapsApplied += Other.SwapsApplied;
+  ConsistencyChecks += Other.ConsistencyChecks;
+  MaxDepth = std::max(MaxDepth, Other.MaxDepth);
+  TimedOut = TimedOut || Other.TimedOut;
+  HitEndStateCap = HitEndStateCap || Other.HitEndStateCap;
+  ElapsedMillis += Other.ElapsedMillis;
+  PeakRssKb = std::max(PeakRssKb, Other.PeakRssKb);
 }
 
+Explorer::Explorer(const Program &Prog, ExplorerConfig Config)
+    : Engine(Prog, std::move(Config)) {}
+
 ExplorerStats Explorer::run(const HistoryVisitor &VisitFn) {
-  Visit = VisitFn;
-  Stats = ExplorerStats();
-  Stop = false;
+  const ExplorerConfig &Config = Engine.config();
+  ExplorationSink S;
+  S.Visit = VisitFn;
+  S.OnExplore = Config.OnExplore;
+  S.TimeBudget = Config.TimeBudget;
   Stopwatch Timer;
 
-  History Initial = History::makeInitial(Prog.numVars());
   if (Config.Iterative)
-    exploreIterative(std::move(Initial));
+    exploreIterative(Engine.initialItem(), S);
   else
-    explore(std::move(Initial), CursorMap(), /*Depth=*/1);
+    exploreRecursive(Engine.initialItem(), S);
 
-  Stats.ElapsedMillis = Timer.elapsedMillis();
-  Stats.PeakRssKb = peakRssKb();
-  return Stats;
+  S.Stats.ElapsedMillis = Timer.elapsedMillis();
+  S.Stats.PeakRssKb = peakRssKb();
+  return S.Stats;
 }
 
 ExplorerStats txdpor::exploreProgram(const Program &Prog,
                                      ExplorerConfig Config,
                                      const HistoryVisitor &Visit) {
-  Explorer E(Prog, Config);
+  Explorer E(Prog, std::move(Config));
   return E.run(Visit);
 }
 
-bool Explorer::shouldStop() {
-  if (Stop)
-    return true;
-  if (Config.TimeBudget.expired()) {
-    Stats.TimedOut = true;
-    Stop = true;
-  }
-  return Stop;
-}
-
-Explorer::NextOp Explorer::computeNext(const History &H,
-                                       const CursorMap &Cursors) const {
-  NextOp Result;
-  // Complete the unique pending transaction first (§5.1): this maintains
-  // the at-most-one-pending invariant on which causal extensibility (and
-  // hence never blocking) relies.
-  if (std::optional<unsigned> Pending = H.pendingTxn()) {
-    TxnUid Uid = H.txn(*Pending).uid();
-    Result.Uid = Uid;
-    Result.Advanced = Cursors.at(Uid.packed());
-    Result.Op = advanceToDbOp(Prog.txn(Uid), Result.Advanced);
-    return Result;
-  }
-  // Otherwise start the oracle-least not-yet-started transaction.
-  for (TxnUid Uid : OracleSequence) {
-    if (H.contains(Uid))
-      continue;
-    Result.Uid = Uid;
-    Result.IsBegin = true;
-    return Result;
-  }
-  Result.Done = true;
-  return Result;
-}
-
-void Explorer::reachedEndState(const History &H) {
-  ++Stats.EndStates;
-  H.checkOrderConsistent();
-  assert(!H.pendingTxn() && "end state with a pending transaction");
-  bool Valid = true;
-  if (Filter) {
-    ++Stats.ConsistencyChecks;
-    Valid = Filter->isConsistent(H);
-  }
-  if (Valid) {
-    ++Stats.Outputs;
-    if (Visit)
-      Visit(H);
-  }
-  if (Config.MaxEndStates && Stats.EndStates >= Config.MaxEndStates) {
-    Stats.HitEndStateCap = true;
-    Stop = true;
-  }
-}
-
-void Explorer::explore(History H, CursorMap Cursors, unsigned Depth) {
-  ++Stats.ExploreCalls;
-  if (Depth > Stats.MaxDepth)
-    Stats.MaxDepth = Depth;
-  if (shouldStop())
-    return;
-  if (Config.OnExplore)
-    Config.OnExplore(H);
-
-  NextOp Next = computeNext(H, Cursors);
-  if (Next.Done) {
-    reachedEndState(H);
-    return;
-  }
-
-  if (Next.IsBegin) {
-    // Begin events extend deterministically; a begin is never a commit, so
-    // exploreSwaps would be a no-op (§5.2).
-    H.beginTxn(Next.Uid);
-    Cursors[Next.Uid.packed()] = TxnCursor::fresh(Prog.txn(Next.Uid));
-    ++Stats.EventsAdded;
-    explore(std::move(H), std::move(Cursors), Depth + 1);
-    return;
-  }
-
-  unsigned Idx = *H.indexOf(Next.Uid);
-  const Transaction &Code = Prog.txn(Next.Uid);
-
-  switch (Next.Op.Kind) {
-  case DbOp::Kind::Read: {
-    // Branch over ValidWrites (§5.1): committed writers of the variable
-    // whose wr choice keeps the history BaseLevel-consistent.
-    H.appendEvent(Idx, Event::makeRead(Next.Op.Var));
-    ++Stats.EventsAdded;
-    uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
-
-    std::vector<unsigned> Candidates;
-    bool Internal = !H.txn(Idx).isExternalRead(Pos);
-    if (Internal) {
-      // Read-local rule: value is fixed by the transaction itself; no wr
-      // dependency and no branching.
-      Candidates.clear();
-    } else {
-      for (unsigned W : H.committedWriters(Next.Op.Var)) {
-        H.setWriter(Idx, Pos, H.txn(W).uid());
-        ++Stats.ConsistencyChecks;
-        if (Base.isConsistent(H))
-          Candidates.push_back(W);
-      }
-    }
-
-    if (Internal) {
-      CursorMap NewCursors = std::move(Cursors);
-      TxnCursor &Cur = NewCursors[Next.Uid.packed()];
-      Cur = Next.Advanced;
-      applyRead(Code, Cur, H.readValue(Idx, Pos));
-      explore(std::move(H), std::move(NewCursors), Depth + 1);
-      return;
-    }
-
-    if (Candidates.empty()) {
-      // Cannot happen for causally-extensible base levels (§3.2); counted
-      // to let tests assert strong optimality.
-      ++Stats.BlockedReads;
-      return;
-    }
-    // Explore latest writers first (order does not affect the result set).
-    for (size_t CI = Candidates.size(); CI-- > 0;) {
-      if (shouldStop())
-        return;
-      unsigned W = Candidates[CI];
-      History Branch = H;
-      Branch.setWriter(Idx, Pos, H.txn(W).uid());
-      CursorMap BranchCursors = Cursors;
-      TxnCursor &Cur = BranchCursors[Next.Uid.packed()];
-      Cur = Next.Advanced;
-      applyRead(Code, Cur, Branch.readValue(Idx, Pos));
-      ++Stats.ReadBranches;
-      explore(std::move(Branch), std::move(BranchCursors), Depth + 1);
-      // A read is never a commit: exploreSwaps would be a no-op.
-    }
-    return;
-  }
-
-  case DbOp::Kind::Write: {
-    H.appendEvent(Idx, Event::makeWrite(Next.Op.Var, Next.Op.Val));
-    ++Stats.EventsAdded;
-    // Causal extensibility (Thm. 3.4) guarantees writes never violate the
-    // base level when the pending transaction is (so ∪ wr)+-maximal.
-    assert(Base.isConsistent(H) && "write extension broke consistency");
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyWrite(Cursors[Next.Uid.packed()]);
-    explore(std::move(H), std::move(Cursors), Depth + 1);
-    return;
-  }
-
-  case DbOp::Kind::Abort: {
-    H.appendEvent(Idx, Event::makeAbort());
-    ++Stats.EventsAdded;
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyFinish(Cursors[Next.Uid.packed()]);
-    // Aborted transactions are never swap targets (§5.2, footnote 5).
-    explore(std::move(H), std::move(Cursors), Depth + 1);
-    return;
-  }
-
-  case DbOp::Kind::Commit: {
-    H.appendEvent(Idx, Event::makeCommit());
-    ++Stats.EventsAdded;
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyFinish(Cursors[Next.Uid.packed()]);
-    History Committed = H; // exploreSwaps needs it after explore moves on.
-    explore(std::move(H), std::move(Cursors), Depth + 1);
-    exploreSwaps(Committed, Depth);
-    return;
-  }
-  }
-}
-
-void Explorer::exploreSwaps(const History &H, unsigned Depth) {
-  if (shouldStop())
-    return;
-  for (const Reordering &R : computeReorderings(H)) {
-    if (shouldStop())
-      return;
-    ++Stats.SwapsConsidered;
-    if (!optimalityHolds(H, R, Base, Config.CheckSwapped,
-                         Config.CheckReadLatest, &Stats.ConsistencyChecks,
-                         Order))
-      continue;
-    ++Stats.SwapsApplied;
-    History Swapped = applySwap(H, R);
-    CursorMap Cursors = replayAllCursors(Prog, Swapped);
-    explore(std::move(Swapped), std::move(Cursors), Depth + 1);
-  }
-}
-
-//===----------------------------------------------------------------------===
-// Iterative implementation (§7.1): a depth-first worklist of (history,
-// cursors) items. Children of an item are collected in the recursive
-// visit order and pushed onto the LIFO stack in reverse, so items pop in
-// exactly the order the recursive implementation visits them — outputs
-// and aggregate statistics coincide (asserted by the test suite).
-//===----------------------------------------------------------------------===
-
-void Explorer::exploreIterative(History Initial) {
-  std::vector<WorkItem> Stack;
-  Stack.push_back({std::move(Initial), CursorMap(), /*Depth=*/1});
+void Explorer::exploreRecursive(WorkItem Item, ExplorationSink &S) {
   std::vector<WorkItem> Children;
-  while (!Stack.empty()) {
-    if (shouldStop())
+  Engine.expandItem(std::move(Item), Children, S);
+  for (WorkItem &Child : Children) {
+    // Mirror drainDepthFirst: once stopped, expand nothing further, so
+    // both walks report identical statistics even for truncated runs.
+    if (Engine.shouldStop(S))
       return;
-    WorkItem Item = std::move(Stack.back());
-    Stack.pop_back();
-    Children.clear();
-    expandItem(std::move(Item), Children);
-    for (size_t I = Children.size(); I-- > 0;)
-      Stack.push_back(std::move(Children[I]));
+    exploreRecursive(std::move(Child), S);
   }
 }
 
-void Explorer::expandItem(WorkItem Item, std::vector<WorkItem> &Out) {
-  ++Stats.ExploreCalls;
-  if (Item.Depth > Stats.MaxDepth)
-    Stats.MaxDepth = Item.Depth;
-  if (shouldStop())
-    return;
-  if (Config.OnExplore)
-    Config.OnExplore(Item.H);
-
-  History &H = Item.H;
-  CursorMap &Cursors = Item.Cursors;
-  NextOp Next = computeNext(H, Cursors);
-  if (Next.Done) {
-    reachedEndState(H);
-    return;
-  }
-
-  if (Next.IsBegin) {
-    H.beginTxn(Next.Uid);
-    Cursors[Next.Uid.packed()] = TxnCursor::fresh(Prog.txn(Next.Uid));
-    ++Stats.EventsAdded;
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-    return;
-  }
-
-  unsigned Idx = *H.indexOf(Next.Uid);
-  const Transaction &Code = Prog.txn(Next.Uid);
-
-  switch (Next.Op.Kind) {
-  case DbOp::Kind::Read: {
-    H.appendEvent(Idx, Event::makeRead(Next.Op.Var));
-    ++Stats.EventsAdded;
-    uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
-
-    if (!H.txn(Idx).isExternalRead(Pos)) {
-      TxnCursor &Cur = Cursors[Next.Uid.packed()];
-      Cur = Next.Advanced;
-      applyRead(Code, Cur, H.readValue(Idx, Pos));
-      Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-      return;
-    }
-
-    std::vector<unsigned> Candidates;
-    for (unsigned W : H.committedWriters(Next.Op.Var)) {
-      H.setWriter(Idx, Pos, H.txn(W).uid());
-      ++Stats.ConsistencyChecks;
-      if (Base.isConsistent(H))
-        Candidates.push_back(W);
-    }
-    if (Candidates.empty()) {
-      ++Stats.BlockedReads;
-      return;
-    }
-    // Same order as the recursive loop: latest writers first.
-    for (size_t CI = Candidates.size(); CI-- > 0;) {
-      unsigned W = Candidates[CI];
-      History Branch = H;
-      Branch.setWriter(Idx, Pos, H.txn(W).uid());
-      CursorMap BranchCursors = Cursors;
-      TxnCursor &Cur = BranchCursors[Next.Uid.packed()];
-      Cur = Next.Advanced;
-      applyRead(Code, Cur, Branch.readValue(Idx, Pos));
-      ++Stats.ReadBranches;
-      Out.push_back(
-          {std::move(Branch), std::move(BranchCursors), Item.Depth + 1});
-    }
-    return;
-  }
-
-  case DbOp::Kind::Write: {
-    H.appendEvent(Idx, Event::makeWrite(Next.Op.Var, Next.Op.Val));
-    ++Stats.EventsAdded;
-    assert(Base.isConsistent(H) && "write extension broke consistency");
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyWrite(Cursors[Next.Uid.packed()]);
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-    return;
-  }
-
-  case DbOp::Kind::Abort: {
-    H.appendEvent(Idx, Event::makeAbort());
-    ++Stats.EventsAdded;
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyFinish(Cursors[Next.Uid.packed()]);
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-    return;
-  }
-
-  case DbOp::Kind::Commit: {
-    H.appendEvent(Idx, Event::makeCommit());
-    ++Stats.EventsAdded;
-    Cursors[Next.Uid.packed()] = Next.Advanced;
-    applyFinish(Cursors[Next.Uid.packed()]);
-
-    // Extension child first (the recursive code fully explores it before
-    // any swap), then swap children in computeReorderings order.
-    History Committed = H;
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-    for (const Reordering &R : computeReorderings(Committed)) {
-      ++Stats.SwapsConsidered;
-      if (!optimalityHolds(Committed, R, Base, Config.CheckSwapped,
-                           Config.CheckReadLatest, &Stats.ConsistencyChecks,
-                           Order))
-        continue;
-      ++Stats.SwapsApplied;
-      History Swapped = applySwap(Committed, R);
-      CursorMap SwapCursors = replayAllCursors(Prog, Swapped);
-      Out.push_back(
-          {std::move(Swapped), std::move(SwapCursors), Item.Depth + 1});
-    }
-    return;
-  }
-  }
+// The iterative implementation (§7.1) is the shared drainDepthFirst walk:
+// a depth-first worklist whose items pop in exactly the order the
+// recursive implementation visits them — outputs and aggregate statistics
+// coincide (asserted by the test suite).
+void Explorer::exploreIterative(WorkItem Root, ExplorationSink &S) {
+  drainDepthFirst(Engine, std::move(Root), S);
 }

@@ -6,18 +6,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The explore-ce / explore-ce* algorithms (Algorithm 1 instantiated per
-/// §5 and §6):
+/// The sequential driver of the explore-ce / explore-ce* algorithms
+/// (Algorithm 1 instantiated per §5 and §6):
 ///
 ///   * Next (§5.1) schedules deterministically along a fixed oracle order,
 ///     always completing the (unique) pending transaction first;
 ///   * read events branch over ValidWrites — the committed writers whose
 ///     wr choice keeps the history BaseLevel-consistent;
-///   * after each commit, exploreSwaps re-orders the just-committed
-///     transaction before earlier reads (ComputeReorderings + Swap, §5.2),
-///     gated by the Optimality condition (§5.3);
+///   * after each commit, the engine emits swap children re-ordering the
+///     just-committed transaction before earlier reads (ComputeReorderings
+///     + Swap, §5.2), gated by the Optimality condition (§5.3);
 ///   * complete histories pass through the Valid filter (§6): none for
 ///     explore-ce, a FilterLevel consistency check for explore-ce*.
+///
+/// The per-node expansion lives in ExplorationEngine (core/Engine.h) and
+/// is shared with the parallel driver (parallel/ParallelExplorer.h); this
+/// class only chooses *how the tree is walked*: plain recursion, or the
+/// explicit-stack worklist of §7.1 (Config.Iterative). Both walks visit
+/// nodes in exactly the same order and produce identical outputs and
+/// statistics (asserted by the test suite). Like the paper's worklist
+/// tool, a node's children are materialized together before descending,
+/// so peak live memory is O(depth × branching) histories — still
+/// polynomial (Thm. 5.1's bound is per-history anyway).
 ///
 /// For BaseLevel ∈ {true, RC, RA, CC} the exploration is sound, complete,
 /// strongly optimal and polynomial space (Theorem 5.1); with a FilterLevel
@@ -28,15 +38,14 @@
 #ifndef TXDPOR_CORE_EXPLORER_H
 #define TXDPOR_CORE_EXPLORER_H
 
-#include "consistency/ConsistencyChecker.h"
+#include "core/Engine.h"
 #include "core/ExplorerConfig.h"
-#include "core/Swap.h"
 #include "program/Program.h"
-#include "semantics/Executor.h"
 
 namespace txdpor {
 
-/// One exploration run over a program. Construct, then call run() once.
+/// One sequential exploration run over a program. Construct, then call
+/// run() once.
 class Explorer {
 public:
   Explorer(const Program &Prog, ExplorerConfig Config);
@@ -46,50 +55,19 @@ public:
   ExplorerStats run(const HistoryVisitor &Visit = {});
 
 private:
-  /// What Next(P, h, locals) returned.
-  struct NextOp {
-    bool Done = false;  ///< Program finished (⊥).
-    TxnUid Uid{};       ///< Transaction the event belongs to.
-    bool IsBegin = false;
-    DbOp Op{};          ///< Valid unless Done/IsBegin.
-    TxnCursor Advanced; ///< Cursor after local steps (unless Done/IsBegin).
-  };
+  /// Recursive walk: expand the node, then recurse into each child in
+  /// order (depth-first on the C++ call stack).
+  void exploreRecursive(WorkItem Item, ExplorationSink &S);
 
-  NextOp computeNext(const History &H, const CursorMap &Cursors) const;
+  /// Iterative (explicit-stack) variant (§7.1); pops depth-first so the
+  /// visit order matches the recursive walk exactly.
+  void exploreIterative(WorkItem Root, ExplorationSink &S);
 
-  void explore(History H, CursorMap Cursors, unsigned Depth);
-  void exploreSwaps(const History &H, unsigned Depth);
-  void reachedEndState(const History &H);
-  bool shouldStop();
-
-  /// One worklist entry of the iterative implementation (§7.1): a history
-  /// with its execution cursors, at a recursion depth.
-  struct WorkItem {
-    History H;
-    CursorMap Cursors;
-    unsigned Depth;
-  };
-
-  /// Iterative (explicit-stack) variant of explore(); pops depth-first so
-  /// the visit order matches the recursive implementation exactly.
-  void exploreIterative(History Initial);
-
-  /// Expands one item: visits it and appends its children (extension
-  /// branches, then swap branches) to \p Out in recursive visit order.
-  void expandItem(WorkItem Item, std::vector<WorkItem> &Out);
-
-  const Program &Prog;
-  ExplorerConfig Config;
-  const ConsistencyChecker &Base;
-  const ConsistencyChecker *Filter = nullptr;
-  std::vector<TxnUid> OracleSequence; ///< Start order used by Next.
-  OracleOrder Order;                  ///< Comparator shared with swapped().
-  HistoryVisitor Visit;
-  ExplorerStats Stats;
-  bool Stop = false;
+  ExplorationEngine Engine;
 };
 
-/// Convenience entry point: runs an exploration and returns its stats.
+/// Convenience entry point: runs a sequential exploration and returns its
+/// stats.
 ExplorerStats exploreProgram(const Program &Prog, ExplorerConfig Config,
                              const HistoryVisitor &Visit = {});
 

@@ -68,6 +68,25 @@ struct ExplorerConfig {
   /// suite); only the C++ stack usage differs.
   bool Iterative = false;
 
+  /// Worker threads of the parallel driver (parallel/ParallelExplorer.h).
+  /// 0 or 1 means sequential; the sequential Explorer ignores this. The
+  /// output history set is identical for every value (the exploration tree
+  /// is fixed; threads only partition its subtrees).
+  unsigned Threads = 1;
+
+  /// Frontier sizing for the parallel driver: the breadth-first split
+  /// phase keeps expanding until at least SplitFactor × Threads
+  /// independent subtrees are available for the workers. Larger values
+  /// smooth out imbalanced subtrees at the cost of a longer sequential
+  /// phase.
+  unsigned SplitFactor = 4;
+
+  /// Depth bound for the split phase (0 = unbounded): items at this depth
+  /// or deeper are handed to the workers unsplit even if the frontier is
+  /// still below target. Guards against degenerate, mostly-linear trees
+  /// where breadth-first splitting would just replay the whole run.
+  unsigned SplitDepth = 0;
+
   /// Order in which Next starts transactions when none is pending (§5.1's
   /// oracle order). Empty means the default: sessions ascending, within a
   /// session by position. A custom order must list every transaction of
@@ -112,6 +131,13 @@ struct ExplorerStats {
   bool HitEndStateCap = false;
   double ElapsedMillis = 0;
   uint64_t PeakRssKb = 0;
+
+  /// Accumulates \p Other into this: counters add up, MaxDepth/PeakRssKb
+  /// take the maximum, the flags OR. ElapsedMillis *adds* (aggregate work
+  /// time); drivers that merge concurrent workers overwrite it with the
+  /// wall-clock afterwards. The single aggregation routine shared by the
+  /// parallel explorer and the bench harnesses.
+  void merge(const ExplorerStats &Other);
 };
 
 /// Callback receiving every output history.

@@ -1,0 +1,81 @@
+//===- parallel/WorkQueue.h - Work-stealing deques for exploration --------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling substrate of the parallel explorer: one WorkQueue per
+/// worker, owner-LIFO / thief-FIFO in the classic work-stealing style.
+///
+///   * The owner pushes and pops at the bottom, so its local walk stays
+///     depth-first — the polynomial-space guarantee of the sequential
+///     explorer (Thm. 5.1) then holds per worker.
+///   * Thieves steal from the top, i.e. the *shallowest* item, which roots
+///     the largest remaining subtree — stolen work is coarse, keeping
+///     steal traffic rare.
+///
+/// Exploration items are hundreds of bytes (a history plus cursor maps)
+/// and expanding one costs consistency checks that dwarf a lock, so a
+/// mutex per deque is the right tradeoff — a lock-free Chase-Lev deque
+/// would optimise the part that is not hot. The shared Pending counter
+/// provides termination detection: it counts items that are enqueued or
+/// being expanded, so it reaches zero exactly when the forest is done.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_PARALLEL_WORKQUEUE_H
+#define TXDPOR_PARALLEL_WORKQUEUE_H
+
+#include "core/Engine.h"
+
+#include <deque>
+#include <mutex>
+
+namespace txdpor {
+
+/// A mutex-guarded work-stealing deque of exploration items.
+class WorkQueue {
+public:
+  /// Bottom push (owner side).
+  void push(WorkItem Item) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Items.push_back(std::move(Item));
+  }
+
+  /// Bottom pop (owner side): the most recently pushed item, keeping the
+  /// owner's walk depth-first.
+  bool tryPopBottom(WorkItem &Out) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.back());
+    Items.pop_back();
+    return true;
+  }
+
+  /// Top pop (thief side): the oldest — shallowest — item, rooting the
+  /// largest remaining subtree.
+  bool trySteal(WorkItem &Out) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::deque<WorkItem> Items;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_PARALLEL_WORKQUEUE_H

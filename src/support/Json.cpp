@@ -1,0 +1,157 @@
+//===- support/Json.cpp - Minimal JSON emission for bench dumps -----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace txdpor;
+
+std::string JsonWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::newline() {
+  OS << '\n';
+  for (size_t I = 0; I != IsObject.size(); ++I)
+    OS << "  ";
+}
+
+void JsonWriter::beforeValue() {
+  if (IsObject.empty())
+    return; // Top-level value.
+  if (IsObject.back()) {
+    assert(PendingKey && "object member needs a key() first");
+    PendingKey = false;
+    return;
+  }
+  if (HasElement.back())
+    OS << ',';
+  HasElement.back() = true;
+  newline();
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  assert(!IsObject.empty() && IsObject.back() && "key() outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (HasElement.back())
+    OS << ',';
+  HasElement.back() = true;
+  newline();
+  OS << '"' << escape(K) << "\": ";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  OS << '{';
+  IsObject.push_back(true);
+  HasElement.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!IsObject.empty() && IsObject.back() && "unbalanced endObject()");
+  bool Empty = !HasElement.back();
+  IsObject.pop_back();
+  HasElement.pop_back();
+  if (!Empty)
+    newline();
+  OS << '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  OS << '[';
+  IsObject.push_back(false);
+  HasElement.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!IsObject.empty() && !IsObject.back() && "unbalanced endArray()");
+  bool Empty = !HasElement.back();
+  IsObject.pop_back();
+  HasElement.pop_back();
+  if (!Empty)
+    newline();
+  OS << ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &V) {
+  beforeValue();
+  OS << '"' << escape(V) << '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *V) {
+  return value(std::string(V));
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  beforeValue();
+  if (std::isfinite(V)) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    OS << Buf;
+  } else {
+    OS << "null"; // JSON has no Inf/NaN.
+  }
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  beforeValue();
+  OS << (V ? "true" : "false");
+  return *this;
+}

@@ -1,0 +1,77 @@
+//===- support/Json.h - Minimal JSON emission for bench dumps -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer so the bench harnesses can dump their
+/// tables in a machine-readable form next to the human-readable ones
+/// (e.g. bench_parallel_scaling's BENCH_parallel.json) and future PRs can
+/// track trajectories without scraping text tables. Emission only — this
+/// project never parses JSON.
+///
+/// \code
+///   JsonWriter J(OS);
+///   J.beginObject();
+///   J.key("runs").beginArray();
+///   J.beginObject().key("app").value("tpcc").key("ms").value(12.5);
+///   J.endObject();
+///   J.endArray();
+///   J.endObject();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_JSON_H
+#define TXDPOR_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace txdpor {
+
+/// Streaming JSON writer with automatic comma/indent management. Values
+/// must be emitted in valid JSON positions (asserted in debug builds).
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter &key(const std::string &K);
+
+  JsonWriter &value(const std::string &V);
+  JsonWriter &value(const char *V);
+  JsonWriter &value(double V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(bool V);
+
+  /// Escapes \p S per RFC 8259 (quotes, backslash, control characters).
+  static std::string escape(const std::string &S);
+
+private:
+  void beforeValue();
+  void newline();
+
+  std::ostream &OS;
+  /// One frame per open container: true = object, false = array.
+  std::vector<bool> IsObject;
+  /// Whether the current container already holds an element.
+  std::vector<bool> HasElement;
+  bool PendingKey = false;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_JSON_H

@@ -6,12 +6,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Deadline.h"
+#include "support/Json.h"
 #include "support/Relation.h"
 #include "support/Rng.h"
 #include "support/TablePrinter.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 using namespace txdpor;
@@ -267,4 +269,37 @@ TEST(TablePrinterTest, FormatMillis) {
   EXPECT_EQ(TablePrinter::formatMillis(0, false), "00:00.000");
   EXPECT_EQ(TablePrinter::formatMillis(61234, false), "01:01.234");
   EXPECT_EQ(TablePrinter::formatMillis(1, true), "TL");
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  std::ostringstream OS;
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("name").value("tpcc");
+  J.key("threads").value(4u);
+  J.key("millis").value(12.5);
+  J.key("timed_out").value(false);
+  J.key("runs").beginArray();
+  J.value(uint64_t(1)).value(uint64_t(2));
+  J.beginObject().key("k").value("v").endObject();
+  J.endArray();
+  J.key("empty").beginArray().endArray();
+  J.endObject();
+
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("\"name\": \"tpcc\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"threads\": 4"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("12.5"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("false"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"empty\": []"), std::string::npos) << Out;
+  // Balanced brackets, comma-separated array elements.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '{'),
+            std::count(Out.begin(), Out.end(), '}'));
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '['),
+            std::count(Out.begin(), Out.end(), ']'));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
 }

@@ -17,6 +17,7 @@
 ///   txdpor-cli --app courseware --base CC --classify SER --print-witness
 ///   txdpor-cli --app twitter --walks 500
 ///   txdpor-cli --app wikipedia --base RC --filter CC --budget-ms 5000
+///   txdpor-cli --app tpcc --sessions 4 --txns 3 --threads 8
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +27,7 @@
 #include "core/RandomWalk.h"
 #include "history/Dot.h"
 #include "history/Serialize.h"
+#include "parallel/ParallelExplorer.h"
 #include "support/TablePrinter.h"
 
 #include <cstring>
@@ -47,6 +49,9 @@ struct CliOptions {
   bool UseDfs = false;
   std::optional<uint64_t> Walks;
   int64_t BudgetMs = 30000;
+  unsigned Threads = 1;
+  unsigned SplitFactor = 4;
+  unsigned SplitDepth = 0;
   bool PrintProgram = false;
   bool PrintHistories = false;
   bool PrintWitness = false;
@@ -70,6 +75,13 @@ void printUsage() {
       "  --dfs               run the no-POR DFS baseline instead\n"
       "  --walks N           run N random-walk samples instead\n"
       "  --budget-ms N       wall-clock budget (default 30000)\n"
+      "  --threads N         worker threads for the exploration (default 1\n"
+      "                      = sequential; the output history set is\n"
+      "                      identical for every N)\n"
+      "  --split-factor K    parallel frontier target of K*threads subtrees\n"
+      "                      before workers start (default 4)\n"
+      "  --split-depth D     never split below depth D (default 0 =\n"
+      "                      unbounded)\n"
       "  --print-program     dump the generated program\n"
       "  --print-histories   dump every output history\n"
       "  --print-witness     dump the first classified violation\n"
@@ -152,6 +164,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!(Value = NeedValue(I)))
         return false;
       Options.BudgetMs = std::atoll(Value);
+    } else if (Arg == "--threads" || Arg == "--split-factor" ||
+               Arg == "--split-depth") {
+      if (!(Value = NeedValue(I)))
+        return false;
+      int Parsed = std::atoi(Value);
+      if (Parsed < 0) {
+        std::cerr << "error: " << Arg << " must be non-negative\n";
+        return false;
+      }
+      if (Arg == "--threads")
+        Options.Threads = static_cast<unsigned>(Parsed);
+      else if (Arg == "--split-factor")
+        Options.SplitFactor = static_cast<unsigned>(Parsed);
+      else
+        Options.SplitDepth = static_cast<unsigned>(Parsed);
     } else if (Arg == "--print-program") {
       Options.PrintProgram = true;
     } else if (Arg == "--print-histories") {
@@ -250,6 +277,9 @@ int main(int Argc, char **Argv) {
   Config.BaseLevel = Options.Base;
   Config.FilterLevel = Options.Filter;
   Config.TimeBudget = Deadline::afterMillis(Options.BudgetMs);
+  Config.Threads = Options.Threads;
+  Config.SplitFactor = Options.SplitFactor;
+  Config.SplitDepth = Options.SplitDepth;
 
   std::vector<History> Violations;
   uint64_t Outputs = 0;
@@ -262,8 +292,18 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
-  Explorer E(P, Config);
-  ExplorerStats Stats = E.run([&](const History &H) {
+  // The parallel driver serializes visitor calls internally, so the
+  // capture below is safe for any thread count; only the order in which
+  // histories stream out depends on the schedule.
+  auto RunExploration = [&](const HistoryVisitor &Visit) {
+    if (Options.Threads > 1) {
+      ParallelExplorer E(P, Config);
+      return E.run(Visit);
+    }
+    Explorer E(P, Config);
+    return E.run(Visit);
+  };
+  ExplorerStats Stats = RunExploration([&](const History &H) {
     ++Outputs;
     if (!First)
       First = H;
@@ -278,7 +318,10 @@ int main(int Argc, char **Argv) {
     std::cout << "archived " << Outputs << " histories to "
               << Options.SaveFile << '\n';
 
-  std::cout << Config.algorithmName() << ": " << Stats.Outputs
+  std::cout << Config.algorithmName();
+  if (Options.Threads > 1)
+    std::cout << " [" << Options.Threads << " threads]";
+  std::cout << ": " << Stats.Outputs
             << " histories, " << Stats.EndStates << " end states, "
             << Stats.ExploreCalls << " explore calls, "
             << Stats.SwapsApplied << " swaps, " << Stats.ElapsedMillis
