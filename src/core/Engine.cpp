@@ -179,6 +179,8 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
       return;
     }
     // Explore latest writers first (order does not affect the result set).
+    // The branch copy is a copy-on-write alias: every log is shared with H
+    // until setWriter clones the one reader log it re-points.
     for (size_t CI = Candidates.size(); CI-- > 0;) {
       unsigned W = Candidates[CI];
       History Branch = H;
@@ -223,23 +225,31 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyFinish(Cursors[Next.Uid.packed()]);
 
-    // Extension child first (the recursive driver fully explores it before
-    // any swap), then swap children in computeReorderings order (§5.2),
-    // each gated by the Optimality condition (§5.3).
-    History Committed = H;
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
-    for (const Reordering &R : computeReorderings(Committed)) {
+    // Swap children are computed first — they need H and its cursor map —
+    // but emitted *after* the extension child, preserving the canonical
+    // child order (extension first, then swaps in computeReorderings
+    // order, §5.2, each gated by the Optimality condition, §5.3). Each
+    // swap child shares every kept log with H (copy-on-write) and rebuilds
+    // only the truncated reader's cursor: all other cursors are reused
+    // from this item's snapshot via replayCursorsFrom.
+    std::vector<WorkItem> SwapChildren;
+    for (const Reordering &R : computeReorderings(H)) {
       ++S.Stats.SwapsConsidered;
-      if (!optimalityHolds(Committed, R, Base, Config.CheckSwapped,
+      if (!optimalityHolds(H, R, Base, Config.CheckSwapped,
                            Config.CheckReadLatest,
                            &S.Stats.ConsistencyChecks, Order))
         continue;
       ++S.Stats.SwapsApplied;
-      History Swapped = applySwap(Committed, R);
-      CursorMap SwapCursors = replayAllCursors(Prog, Swapped);
-      Out.push_back(
+      unsigned FirstChanged = 0;
+      History Swapped = applySwap(H, R, &FirstChanged);
+      CursorMap SwapCursors =
+          replayCursorsFrom(Prog, Swapped, Cursors, FirstChanged);
+      SwapChildren.push_back(
           {std::move(Swapped), std::move(SwapCursors), Item.Depth + 1});
     }
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    for (WorkItem &Child : SwapChildren)
+      Out.push_back(std::move(Child));
     return;
   }
   }

@@ -47,6 +47,14 @@ namespace txdpor {
 
 /// One node of the exploration tree: a history with its execution cursors,
 /// at a recursion depth (the worklist entry of §7.1).
+///
+/// Ownership/threading contract: a WorkItem is owned by exactly one thread
+/// at a time; the parallel driver transfers ownership by *moving* items
+/// through its mutex-guarded deques. The history inside is a copy-on-write
+/// value — siblings and ancestors share transaction-log storage across
+/// threads — which is safe precisely because mutation happens only through
+/// the single owning thread, and History clones any shared log before
+/// writing (see history/History.h).
 struct WorkItem {
   History H;
   CursorMap Cursors;
@@ -103,7 +111,9 @@ public:
   /// and propagates a deadline expiry to SharedStop.
   bool shouldStop(ExplorationSink &S) const;
 
+  /// The configuration this engine was constructed with.
   const ExplorerConfig &config() const { return Config; }
+  /// The program under exploration (not owned; must outlive the engine).
   const Program &program() const { return Prog; }
 
 private:

@@ -84,15 +84,18 @@ History truncateKeepingCausalPast(const History &H, unsigned ReaderTxn,
         Result.appendLog(H.txn(I).truncated(KeepLen));
       continue;
     }
+    // Kept-whole blocks share storage with H (copy-on-write): the swap
+    // fan-out only ever pays for the one truncated reader log.
     if (I < ReaderTxn || I == TargetTxn || Causal.get(I, TargetTxn))
-      Result.appendLog(H.txn(I));
+      Result.appendLogShared(H, I);
   }
   return Result;
 }
 
 } // namespace
 
-History txdpor::applySwap(const History &H, const Reordering &R) {
+History txdpor::applySwap(const History &H, const Reordering &R,
+                          unsigned *FirstChangedBlock) {
   unsigned TIdx = H.numTxns() - 1;
   assert(R.ReaderTxn < TIdx && "reader must precede the target in <");
   assert(H.txn(TIdx).isCommitted() && "swap target must be committed");
@@ -113,6 +116,11 @@ History txdpor::applySwap(const History &H, const Reordering &R) {
   unsigned NewIdx = Result.appendLog(H.txn(R.ReaderTxn).truncated(R.ReadPos + 1));
   Result.setWriter(NewIdx, R.ReadPos, H.txn(TIdx).uid());
   Result.checkWellFormed();
+  // Everything before the re-appended reader is kept byte-identical (and
+  // storage-shared) from H; the truncated reader is the only block whose
+  // log or read values changed — the resume point for incremental replay.
+  if (FirstChangedBlock)
+    *FirstChangedBlock = NewIdx;
   return Result;
 }
 

@@ -87,7 +87,16 @@ std::vector<Reordering> computeReorderings(const History &H);
 /// The Swap function of §5.2. Returns the re-ordered history; the caller
 /// rebuilds execution cursors by replay. \p R must come from
 /// computeReorderings(H).
-History applySwap(const History &H, const Reordering &R);
+///
+/// The result shares the storage of every kept-whole block with \p H
+/// (copy-on-write); only the truncated reader log is new. When
+/// \p FirstChangedBlock is non-null it receives the index (in the result)
+/// of that reader — the first block whose log or read values differ from
+/// \p H — which is exactly the FirstDirtyTxn argument replayCursorsFrom()
+/// needs to rebuild cursors incrementally instead of replaying the whole
+/// program.
+History applySwap(const History &H, const Reordering &R,
+                  unsigned *FirstChangedBlock = nullptr);
 
 /// The swapped(h<, r) predicate of §5.3: r reads from an oracle-order
 /// successor that < orders before it (condition 1), no transaction before

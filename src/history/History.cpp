@@ -67,7 +67,7 @@ std::optional<unsigned> History::indexOf(TxnUid Uid) const {
 std::optional<unsigned> History::pendingTxn() const {
   std::optional<unsigned> Result;
   for (unsigned I = 0, E = numTxns(); I != E; ++I) {
-    if (!Logs[I].isPending())
+    if (!Logs[I]->isPending())
       continue;
     assert(!Result && "more than one pending transaction");
     Result = I;
@@ -77,8 +77,8 @@ std::optional<unsigned> History::pendingTxn() const {
 
 size_t History::numEvents() const {
   size_t N = 0;
-  for (const TransactionLog &Log : Logs)
-    N += Log.size();
+  for (const LogPtr &Log : Logs)
+    N += Log->size();
   return N;
 }
 
@@ -90,30 +90,51 @@ unsigned History::beginTxn(TxnUid Uid) {
 
 void History::appendEvent(unsigned Idx, const Event &E) {
   assert(Idx < Logs.size() && "transaction index out of range");
-  Logs[Idx].append(E);
+  mutableLog(Idx).append(E);
 }
 
 void History::setWriter(unsigned Idx, uint32_t Pos, TxnUid Writer) {
   assert(Idx < Logs.size() && "transaction index out of range");
   assert(contains(Writer) && "wr writer must be part of the history");
-  assert(Logs[Idx].uid() != Writer && "a read cannot read-from its own log");
-  assert(txn(*indexOf(Writer)).writesVar(Logs[Idx].event(Pos).Var) &&
+  assert(Logs[Idx]->uid() != Writer && "a read cannot read-from its own log");
+  assert(txn(*indexOf(Writer)).writesVar(Logs[Idx]->event(Pos).Var) &&
          "wr writer must visibly write the read variable");
-  Logs[Idx].setWriter(Pos, Writer);
+  mutableLog(Idx).setWriter(Pos, Writer);
 }
 
 unsigned History::appendLog(TransactionLog Log) {
   assert(!contains(Log.uid()) && "duplicate transaction uid");
   unsigned Idx = numTxns();
   IndexByUid.emplace(Log.uid().packed(), Idx);
-  Logs.push_back(std::move(Log));
+  Logs.push_back(std::make_shared<TransactionLog>(std::move(Log)));
   return Idx;
+}
+
+unsigned History::appendLogShared(const History &Other, unsigned Idx) {
+  assert(Idx < Other.Logs.size() && "transaction index out of range");
+  assert(!contains(Other.txn(Idx).uid()) && "duplicate transaction uid");
+  unsigned NewIdx = numTxns();
+  IndexByUid.emplace(Other.txn(Idx).uid().packed(), NewIdx);
+  Logs.push_back(Other.Logs[Idx]); // Refcount bump only; no event copy.
+  return NewIdx;
+}
+
+TransactionLog &History::mutableLog(unsigned Idx) {
+  assert(Idx < Logs.size() && "transaction index out of range");
+  LogPtr &P = Logs[Idx];
+  // use_count() == 1 proves this history is the sole owner: any other
+  // owner would hold its own reference. Under the single-owner mutation
+  // discipline no other thread can be concurrently bumping the count
+  // through *this* history, so the check cannot race.
+  if (P.use_count() != 1)
+    P = std::make_shared<TransactionLog>(*P); // Copy-on-write clone.
+  return *P;
 }
 
 bool History::soLess(unsigned A, unsigned B) const {
   if (A == B)
     return false;
-  const TxnUid UA = Logs[A].uid(), UB = Logs[B].uid();
+  const TxnUid UA = Logs[A]->uid(), UB = Logs[B]->uid();
   if (UA.isInit())
     return !UB.isInit();
   if (UB.isInit())
@@ -133,7 +154,7 @@ Relation History::soRelation() const {
 Relation History::wrRelation() const {
   Relation R(numTxns());
   for (unsigned B = 0, E = numTxns(); B != E; ++B) {
-    const TransactionLog &Log = Logs[B];
+    const TransactionLog &Log = *Logs[B];
     for (uint32_t P = 0, PE = static_cast<uint32_t>(Log.size()); P != PE; ++P) {
       std::optional<TxnUid> W = Log.writerOf(P);
       if (!W)
@@ -176,7 +197,7 @@ Value History::readValue(unsigned Idx, uint32_t Pos) const {
 std::vector<unsigned> History::committedWriters(VarId Var) const {
   std::vector<unsigned> Result;
   for (unsigned I = 0, E = numTxns(); I != E; ++I)
-    if (Logs[I].isCommitted() && Logs[I].writesVar(Var))
+    if (Logs[I]->isCommitted() && Logs[I]->writesVar(Var))
       Result.push_back(I);
   return Result;
 }
@@ -184,9 +205,16 @@ std::vector<unsigned> History::committedWriters(VarId Var) const {
 bool History::sameHistory(const History &Other) const {
   if (Logs.size() != Other.Logs.size())
     return false;
-  for (const TransactionLog &Log : Logs) {
+  for (unsigned I = 0, E = numTxns(); I != E; ++I) {
+    const TransactionLog &Log = *Logs[I];
     std::optional<unsigned> OIdx = Other.indexOf(Log.uid());
-    if (!OIdx || !(Other.txn(*OIdx) == Log))
+    if (!OIdx)
+      return false;
+    // Physically shared storage is equal by construction (copy-on-write
+    // aliasing); skip the structural comparison for that common case.
+    if (Other.Logs[*OIdx].get() == &Log)
+      continue;
+    if (!(Other.txn(*OIdx) == Log))
       return false;
   }
   return true;
@@ -214,8 +242,8 @@ static uint64_t hashLog(const TransactionLog &Log) {
 uint64_t History::hashIgnoringOrder() const {
   // Per-log hashes are combined commutatively so block order is ignored.
   uint64_t H = 0x12345678u;
-  for (const TransactionLog &Log : Logs)
-    H += hashLog(Log) * 0x9e3779b97f4a7c15ULL;
+  for (const LogPtr &Log : Logs)
+    H += hashLog(*Log) * 0x9e3779b97f4a7c15ULL;
   return H;
 }
 
@@ -224,11 +252,11 @@ std::string History::canonicalKey() const {
   for (unsigned I = 0; I != numTxns(); ++I)
     Order[I] = I;
   std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
-    return Logs[A].uid() < Logs[B].uid();
+    return Logs[A]->uid() < Logs[B]->uid();
   });
   std::ostringstream OS;
   for (unsigned I : Order) {
-    const TransactionLog &Log = Logs[I];
+    const TransactionLog &Log = *Logs[I];
     OS << Log.uid().str() << '[';
     for (uint32_t P = 0, E = static_cast<uint32_t>(Log.size()); P != E; ++P) {
       const Event &Ev = Log.event(P);
@@ -251,7 +279,8 @@ std::string History::str(const VarNameFn *VarNames) const {
     return VarNames ? (*VarNames)(V) : ("x" + std::to_string(V));
   };
   std::ostringstream OS;
-  for (const TransactionLog &Log : Logs) {
+  for (const LogPtr &LP : Logs) {
+    const TransactionLog &Log = *LP;
     OS << Log.uid().str() << ": ";
     for (uint32_t P = 0, E = static_cast<uint32_t>(Log.size()); P != E; ++P) {
       const Event &Ev = Log.event(P);
@@ -284,10 +313,10 @@ std::string History::str(const VarNameFn *VarNames) const {
 
 void History::checkWellFormed() const {
 #ifndef NDEBUG
-  assert(!Logs.empty() && Logs[0].isInit() &&
+  assert(!Logs.empty() && Logs[0]->isInit() &&
          "history must start with the initial transaction");
   for (unsigned I = 0, E = numTxns(); I != E; ++I) {
-    const TransactionLog &Log = Logs[I];
+    const TransactionLog &Log = *Logs[I];
     assert(!Log.events().empty() && "empty transaction log");
     assert(Log.event(0).Kind == EventKind::Begin &&
            "transaction log must start with begin");
@@ -322,7 +351,7 @@ void History::checkOrderConsistent() const {
       if (SoWr.get(A, B))
         assert(A < B && "block order must extend so ∪ wr");
   for (unsigned I = 0, E = numTxns(); I != E; ++I)
-    assert((Logs[I].isPending() ? I + 1 == E : true) &&
+    assert((Logs[I]->isPending() ? I + 1 == E : true) &&
            "only the last block may be pending");
 #endif
 }

@@ -20,6 +20,16 @@
 /// relations. so is implied by the uids ((session, index) pairs), so
 /// structural equality of the log sets is exactly history equality.
 ///
+/// **Copy-on-write representation.** The block order is a vector of
+/// *shared, logically immutable* transaction logs: copying a History copies
+/// only the spine (one refcount bump per log), never the event storage.
+/// Mutators clone a log lazily, at the moment it is first mutated through a
+/// history that shares it ("mutation-after-share"), so the explorer's
+/// read-branch and swap-child fan-out duplicates exactly the one log tail
+/// it extends while every other log stays physically shared with the
+/// parent, its siblings, and items queued in the parallel driver's deques
+/// (see docs/ARCHITECTURE.md, "Copy-on-write histories").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TXDPOR_HISTORY_HISTORY_H
@@ -29,6 +39,7 @@
 #include "support/Relation.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,6 +49,16 @@ namespace txdpor {
 
 /// A history of database accesses, with its event order represented as a
 /// sequence of transaction blocks.
+///
+/// Copying a History is O(numTxns()) pointer copies: all event storage is
+/// shared between the copies until one of them mutates a log (copy-on-
+/// write). Sharing is thread-safe under single-owner mutation: a History
+/// value may be moved freely between threads (the parallel driver's
+/// work-stealing deques do exactly that), and any number of threads may
+/// concurrently read or mutate *distinct* History values that share logs —
+/// each mutator clones shared logs before writing. Concurrent access to
+/// one History value still requires external synchronization, as for any
+/// standard container.
 class History {
 public:
   History() = default;
@@ -51,13 +72,27 @@ public:
   // Transaction access
   //===--------------------------------------------------------------------===
 
+  /// Number of transaction blocks, including the initial transaction.
   unsigned numTxns() const { return static_cast<unsigned>(Logs.size()); }
+  /// The log at block-order position \p Idx. The reference is valid until
+  /// this history is next mutated or destroyed (copy-on-write may replace
+  /// the backing storage on mutation).
   const TransactionLog &txn(unsigned Idx) const {
     assert(Idx < Logs.size() && "transaction index out of range");
-    return Logs[Idx];
+    return *Logs[Idx];
+  }
+  /// Identity of the backing storage of the log at \p Idx. Two histories
+  /// physically share a log (copy-on-write aliasing) iff the pointers are
+  /// equal. The pointer is stable until the log is next mutated through
+  /// this history; use it only to *observe* sharing (tests, diagnostics),
+  /// never to mutate.
+  const TransactionLog *logIdentity(unsigned Idx) const {
+    assert(Idx < Logs.size() && "transaction index out of range");
+    return Logs[Idx].get();
   }
   /// Index of the transaction with identifier \p Uid, if present.
   std::optional<unsigned> indexOf(TxnUid Uid) const;
+  /// True if a transaction with identifier \p Uid is part of the history.
   bool contains(TxnUid Uid) const { return indexOf(Uid).has_value(); }
 
   /// Index of the unique pending transaction, if any. Asserts that at most
@@ -69,6 +104,10 @@ public:
 
   //===--------------------------------------------------------------------===
   // Mutation (used by the operational semantics and the explorer)
+  //
+  // Every mutator is copy-on-write: if the affected log is shared with
+  // another History, it is cloned first and only this history sees the
+  // change. Logs this history does not touch are never duplicated.
   //===--------------------------------------------------------------------===
 
   /// Starts a new transaction log containing a single begin event and
@@ -77,16 +116,25 @@ public:
 
   /// Appends \p E to the log at \p Idx. For the explorer this is only legal
   /// on the last block (keeps < consistent); the semantics enforces that.
+  /// Copy-on-write: a log shared with other histories is cloned first.
   void appendEvent(unsigned Idx, const Event &E);
 
   /// Sets the wr dependency of the read at (\p Idx, \p Pos) to the
   /// transaction \p Writer, which must exist, be distinct from the reader,
   /// and visibly write the read's variable.
+  /// Copy-on-write: a log shared with other histories is cloned first.
   void setWriter(unsigned Idx, uint32_t Pos, TxnUid Writer);
 
   /// Appends an already-built log as the last block. Used when
-  /// reconstructing histories in Swap. Returns its index.
+  /// reconstructing histories in Swap and when deserializing. Returns its
+  /// index.
   unsigned appendLog(TransactionLog Log);
+
+  /// Appends the log at \p Idx of \p Other as the last block, *sharing* its
+  /// storage (O(1), no event copy). The shared log is cloned lazily if
+  /// either history later mutates it. This is how Swap keeps an O(1) view
+  /// of the unchanged causal past (§5.2).
+  unsigned appendLogShared(const History &Other, unsigned Idx);
 
   //===--------------------------------------------------------------------===
   // Relations (over transaction indices in the current block order)
@@ -150,7 +198,17 @@ public:
   void checkOrderConsistent() const;
 
 private:
-  std::vector<TransactionLog> Logs; ///< In block (<) order; [0] is init.
+  /// Shared-storage handle to one block. Logically immutable while shared;
+  /// mutableLog() restores unique ownership before any write.
+  using LogPtr = std::shared_ptr<TransactionLog>;
+
+  /// Returns the log at \p Idx with unique ownership, cloning it first if
+  /// its storage is shared with another History (the copy-on-write step).
+  /// Safe under the single-owner mutation discipline: use_count() == 1
+  /// means no other History (hence no other thread) can reach the log.
+  TransactionLog &mutableLog(unsigned Idx);
+
+  std::vector<LogPtr> Logs; ///< In block (<) order; [0] is init.
   std::unordered_map<uint64_t, unsigned> IndexByUid;
 };
 

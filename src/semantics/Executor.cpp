@@ -89,11 +89,28 @@ TxnCursor txdpor::replayCursor(const Program &P, const History &H,
 }
 
 CursorMap txdpor::replayAllCursors(const Program &P, const History &H) {
+  return replayCursorsFrom(P, H, CursorMap(), /*FirstDirtyTxn=*/0);
+}
+
+CursorMap txdpor::replayCursorsFrom(const Program &P, const History &H,
+                                    const CursorMap &Prev,
+                                    unsigned FirstDirtyTxn) {
   CursorMap Cursors;
   for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
     if (H.txn(I).isInit())
       continue;
-    Cursors.emplace(H.txn(I).uid().packed(), replayCursor(P, H, I));
+    uint64_t Key = H.txn(I).uid().packed();
+    if (I < FirstDirtyTxn) {
+      auto It = Prev.find(Key);
+      assert(It != Prev.end() &&
+             "cursor snapshot missing a transaction below FirstDirtyTxn");
+      assert(It->second == replayCursor(P, H, I) &&
+             "reused cursor diverges from full replay (dirty transaction "
+             "below FirstDirtyTxn?)");
+      Cursors.emplace(Key, It->second);
+      continue;
+    }
+    Cursors.emplace(Key, replayCursor(P, H, I));
   }
   return Cursors;
 }

@@ -20,6 +20,14 @@
 /// after Swap re-orders a history (§5.2), and how assertions observe final
 /// local states.
 ///
+/// **Incremental replay.** Replay is a pure function of a transaction's
+/// log and its read values, so a cursor stays valid across any history
+/// surgery that leaves both untouched. replayCursorsFrom() exploits this:
+/// given the cursor snapshot of a parent history and the first block index
+/// Swap actually changed, it re-executes only the changed suffix and reuses
+/// every other cursor verbatim — turning the O(program) full replay after
+/// each swap into O(changed tail).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TXDPOR_SEMANTICS_EXECUTOR_H
@@ -52,6 +60,14 @@ struct TxnCursor {
     C.Locals.assign(Code.numLocals(), 0);
     return C;
   }
+
+  /// Structural equality; used by the incremental-replay equivalence
+  /// assertions and tests.
+  bool operator==(const TxnCursor &O) const {
+    return NextInstr == O.NextInstr && Finished == O.Finished &&
+           Locals == O.Locals;
+  }
+  bool operator!=(const TxnCursor &O) const { return !(*this == O); }
 };
 
 /// Cursor storage for all started transactions, keyed by packed TxnUid.
@@ -80,6 +96,24 @@ TxnCursor replayCursor(const Program &P, const History &H, unsigned TxnIdx);
 
 /// Rebuilds cursors for every non-init transaction of \p H.
 CursorMap replayAllCursors(const Program &P, const History &H);
+
+/// Incremental variant of replayAllCursors: rebuilds cursors for \p H
+/// reusing the snapshot \p Prev wherever the history is unchanged.
+///
+/// \p FirstDirtyTxn is the earliest block index of \p H whose log (or
+/// whose read values) may differ from the history \p Prev was computed
+/// against — applySwap() reports it. For every non-init transaction at an
+/// index below it the cursor is *copied* from \p Prev (keyed by uid, so
+/// blocks that merely shifted position reuse too); transactions at or
+/// beyond it are replayed from scratch.
+///
+/// Contract (the caller guarantees, Swap establishes — §5.2): each reused
+/// transaction's log is byte-identical to the one \p Prev saw, and all its
+/// wr writers are themselves kept unchanged, so its read values — and
+/// hence its replayed cursor — cannot differ. Debug builds assert
+/// equivalence with a full replay.
+CursorMap replayCursorsFrom(const Program &P, const History &H,
+                            const CursorMap &Prev, unsigned FirstDirtyTxn);
 
 /// Final local valuation of every transaction of a complete history, used
 /// by assertion checking. Keyed by packed TxnUid.

@@ -221,3 +221,36 @@ TEST(HistoryTest, OrderConsistencyCheck) {
                   .build();
   H.checkOrderConsistent();
 }
+
+TEST(HistoryTest, CopyAndShareKeepHistoryEquality) {
+  // sameHistory/hash/canonicalKey are oblivious to copy-on-write sharing:
+  // a copy compares equal both while it aliases the original's storage and
+  // after a same-content mutation forces a clone.
+  History A = LitmusBuilder(1)
+                  .txn(0, 0).w(X, 1).commit()
+                  .txn(1, 0).r(X, uid(0, 0)).commit()
+                  .build();
+  History B = A;
+  EXPECT_TRUE(A.sameHistory(B));
+  EXPECT_EQ(A.hashIgnoringOrder(), B.hashIgnoringOrder());
+  EXPECT_EQ(A.canonicalKey(), B.canonicalKey());
+
+  unsigned R = *B.indexOf(uid(1, 0));
+  B.setWriter(R, 1, uid(0, 0)); // Same writer: clones storage, same content.
+  EXPECT_NE(B.logIdentity(R), A.logIdentity(R));
+  EXPECT_TRUE(A.sameHistory(B));
+  EXPECT_EQ(A.hashIgnoringOrder(), B.hashIgnoringOrder());
+  EXPECT_EQ(A.canonicalKey(), B.canonicalKey());
+}
+
+TEST(HistoryTest, AppendLogSharedIndexesByUid) {
+  History A = LitmusBuilder(1).txn(0, 0).w(X, 1).commit().build();
+  History B;
+  unsigned I0 = B.appendLogShared(A, 0);
+  unsigned I1 = B.appendLogShared(A, 1);
+  EXPECT_EQ(I0, 0u);
+  EXPECT_EQ(I1, 1u);
+  EXPECT_EQ(*B.indexOf(uid(0, 0)), 1u);
+  EXPECT_TRUE(B.sameHistory(A));
+  B.checkWellFormed();
+}

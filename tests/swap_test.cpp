@@ -16,6 +16,7 @@
 #include "core/Swap.h"
 
 #include "consistency/ConsistencyChecker.h"
+#include "semantics/Executor.h"
 #include "TestUtil.h"
 #include <gtest/gtest.h>
 
@@ -306,4 +307,57 @@ TEST(OptimalityTest, AblationFlagsDisableChecks) {
   EXPECT_FALSE(optimalityHolds(H1, {1, 1}, cc(), false, true));
   // Both checks off: only the consistency of the swap result gates.
   EXPECT_TRUE(optimalityHolds(H1, {1, 1}, cc(), false, false));
+}
+
+TEST(ApplySwapTest, ReportsFirstChangedBlock) {
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).rInit(X).rInit(Y).commit()
+                  .txn(1, 0).w(X, 4).w(Y, 5).commit()
+                  .build();
+  unsigned FirstChanged = 99;
+  History Swapped = applySwap(H, {1, 1}, &FirstChanged);
+  // The truncated reader is re-appended last; everything before it is the
+  // unchanged (storage-shared) causal past of the target.
+  EXPECT_EQ(FirstChanged, Swapped.numTxns() - 1);
+  for (unsigned I = 0; I != FirstChanged; ++I) {
+    std::optional<unsigned> Orig = H.indexOf(Swapped.txn(I).uid());
+    ASSERT_TRUE(Orig.has_value());
+    EXPECT_EQ(Swapped.logIdentity(I), H.logIdentity(*Orig))
+        << "kept block " << I << " must share storage with the input";
+  }
+}
+
+TEST(ApplySwapTest, IncrementalReplayAfterSwapMatchesFull) {
+  // Program shaped like the Fig. 11 litmus: two reader sessions and a
+  // writer session; swap re-executes only the truncated reader.
+  ProgramBuilder B;
+  VarId PX = B.var("x");
+  VarId PY = B.var("y");
+  B.beginTxn(0).read("a", PX);
+  B.beginTxn(0).read("b", PX);
+  auto W1 = B.beginTxn(1);
+  W1.write(PY, 3);
+  auto W2 = B.beginTxn(1);
+  W2.write(PX, 4);
+  Program P = B.build();
+
+  History H = LitmusBuilder(2)
+                  .txn(0, 0).rInit(X).commit()
+                  .txn(0, 1).rInit(X).commit()
+                  .txn(1, 0).w(Y, 3).commit()
+                  .txn(1, 1).w(X, 4).commit()
+                  .build();
+  CursorMap Snapshot = replayAllCursors(P, H);
+
+  unsigned FirstChanged = 0;
+  History Swapped = applySwap(H, {1, 1}, &FirstChanged);
+  CursorMap Incremental =
+      replayCursorsFrom(P, Swapped, Snapshot, FirstChanged);
+  CursorMap Full = replayAllCursors(P, Swapped);
+  ASSERT_EQ(Incremental.size(), Full.size());
+  for (const auto &KV : Full) {
+    auto It = Incremental.find(KV.first);
+    ASSERT_NE(It, Incremental.end());
+    EXPECT_TRUE(It->second == KV.second);
+  }
 }

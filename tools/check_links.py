@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown [text](target) links and fails
+if a relative target does not exist on disk; also flags unbalanced ```
+code fences (usually a mangled mermaid block). External links
+(http/https/mailto) and #anchors are skipped — CI must stay hermetic.
+Run from anywhere; paths resolve against the repository root:
+
+    python3 tools/check_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(2)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: broken link -> {target}")
+    # Unbalanced code fences usually mean a mangled mermaid/code block.
+    if text.count("```") % 2 != 0:
+        errors.append(f"{path}: unbalanced ``` code fences")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    for f in files:
+        if f.exists():
+            errors.extend(check_file(f))
+        else:
+            errors.append(f"{f}: file missing")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, {len(errors)} errors")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
