@@ -1,0 +1,127 @@
+//===- bench/bench_fuzz_throughput.cpp - Differential-fuzz throughput -----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cases-per-second of the differential fuzzing subsystem, per shape
+/// preset and per pipeline stage: generation alone (how fast the corpus
+/// can be produced) and the full oracle loop (generation + explorer diff
+/// + checker cross-checks — the number that bounds nightly coverage).
+/// Tracking this across PRs keeps the fuzz budget honest: an explorer or
+/// checker slowdown shows up here as fewer cases per nightly run.
+///
+/// Dumps the series as BENCH_fuzz.json (TXDPOR_BENCH_JSON overrides)
+/// next to the human-readable table. Honors TXDPOR_BENCH_BUDGET_MS per
+/// (shape, stage) cell, default 800 ms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "fuzz/Fuzzer.h"
+#include "support/Deadline.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+using namespace txdpor;
+using namespace txdpor::bench;
+using namespace txdpor::fuzz;
+
+namespace {
+
+struct Cell {
+  std::string Shape;
+  std::string Stage;
+  uint64_t Cases = 0;
+  double Millis = 0;
+
+  double casesPerSec() const {
+    return Millis > 0 ? Cases * 1000.0 / Millis : 0;
+  }
+};
+
+/// Generation alone: programs and histories, no checking.
+Cell runGeneration(const std::string &ShapeName, int64_t BudgetMs) {
+  Cell C{ShapeName, "generate", 0, 0};
+  std::optional<ProgramShape> Shape = programShapeByName(ShapeName);
+  HistoryShape HShape = historyShapeFor(*Shape);
+  Deadline Budget = Deadline::afterMillis(BudgetMs);
+  Stopwatch Timer;
+  for (uint64_t Case = 0; !Budget.expired(); ++Case) {
+    Rng R(Rng::deriveSeed(1, Case));
+    if (R.chance(50, 100))
+      generateHistory(R, HShape);
+    else
+      generateCase(R, *Shape);
+    ++C.Cases;
+  }
+  C.Millis = Timer.elapsedMillis();
+  return C;
+}
+
+/// The full differential loop, as `txdpor-cli fuzz` runs it.
+Cell runOracle(const std::string &ShapeName, int64_t BudgetMs) {
+  Cell C{ShapeName, "oracle", 0, 0};
+  FuzzOptions Options;
+  Options.Seed = 1;
+  Options.Iterations = ~0ULL >> 1;
+  Options.TimeBudgetMs = BudgetMs;
+  Options.ShapeName = ShapeName;
+  Stopwatch Timer;
+  FuzzReport Report = runFuzz(Options);
+  C.Cases = Report.Cases;
+  C.Millis = Timer.elapsedMillis();
+  return C;
+}
+
+} // namespace
+
+int main() {
+  int64_t BudgetMs = benchBudgetMs();
+  std::vector<Cell> Cells;
+  for (const std::string &Shape : programShapeNames()) {
+    Cells.push_back(runGeneration(Shape, BudgetMs));
+    Cells.push_back(runOracle(Shape, BudgetMs));
+  }
+
+  TablePrinter Table({"shape", "stage", "cases", "ms", "cases/s"});
+  for (const Cell &C : Cells) {
+    char Rate[32];
+    std::snprintf(Rate, sizeof(Rate), "%.0f", C.casesPerSec());
+    char Ms[32];
+    std::snprintf(Ms, sizeof(Ms), "%.1f", C.Millis);
+    Table.addRow({C.Shape, C.Stage, formatCount(C.Cases), Ms, Rate});
+  }
+  std::cout << "Differential-fuzz throughput (budget " << BudgetMs
+            << " ms per cell)\n\n";
+  Table.print(std::cout);
+
+  const char *JsonPath = std::getenv("TXDPOR_BENCH_JSON");
+  std::string Path = JsonPath ? JsonPath : "BENCH_fuzz.json";
+  std::ofstream OS(Path);
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("bench").value("fuzz_throughput");
+  J.key("budget_ms").value(static_cast<int64_t>(BudgetMs));
+  J.key("cells").beginArray();
+  for (const Cell &C : Cells) {
+    J.beginObject();
+    J.key("shape").value(C.Shape);
+    J.key("stage").value(C.Stage);
+    J.key("cases").value(C.Cases);
+    J.key("ms").value(C.Millis);
+    J.key("cases_per_sec").value(C.casesPerSec());
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+  std::cout << "\nwrote " << Path << '\n';
+  return 0;
+}

@@ -185,30 +185,8 @@ ViolationExplanation explainSaturation(const History &H,
 
 History txdpor::minimizeViolation(const History &H, IsolationLevel Level) {
   assert(!isConsistent(H, Level) && "nothing to minimize");
-  History Current = H;
-  bool Shrunk = true;
-  while (Shrunk) {
-    Shrunk = false;
-    // Try dropping each non-init transaction (latest blocks first: they
-    // have the fewest dependents). Dropping one transaction drags its
-    // readers and session successors along via downward closure.
-    for (unsigned I = Current.numTxns(); I-- > 1;) {
-      PrefixCut Cut;
-      for (unsigned J = 0, E = Current.numTxns(); J != E; ++J)
-        Cut.push_back(static_cast<uint32_t>(Current.txn(J).size()));
-      Cut[I] = 0;
-      closeDownward(Current, Cut);
-      History Candidate = takePrefix(Current, Cut);
-      if (Candidate.numTxns() == Current.numTxns())
-        continue; // Nothing was actually removed.
-      if (isConsistent(Candidate, Level))
-        continue; // The violation needs this transaction.
-      Current = std::move(Candidate);
-      Shrunk = true;
-      break;
-    }
-  }
-  return Current;
+  return shrinkToCore(
+      H, [Level](const History &C) { return !isConsistent(C, Level); });
 }
 
 ViolationExplanation txdpor::explainViolation(const History &H,

@@ -74,11 +74,13 @@ Relation constraintGraphWithReasons(const History &H, IsolationLevel Level,
 std::vector<unsigned> findCycle(const Relation &Graph);
 
 /// Shrinks an inconsistent history to a locally-minimal core that still
-/// violates \p Level: repeatedly drops whole transactions (closing the
-/// remainder downward under po ∪ so ∪ wr so it stays a valid prefix)
-/// while the violation persists. The result typically isolates the
-/// handful of transactions forming the anomaly — ideal for bug reports.
-/// \p H must be inconsistent with \p Level.
+/// violates \p Level: repeatedly drops whole transactions and truncates
+/// unused event suffixes (closing the remainder downward under
+/// po ∪ so ∪ wr so it stays a valid prefix) while the violation persists
+/// — the transaction-granular loop of history/Prefix.h's shrinkToCore.
+/// The result typically isolates the handful of accesses forming the
+/// anomaly — ideal for bug reports. \p H must be inconsistent with
+/// \p Level.
 History minimizeViolation(const History &H, IsolationLevel Level);
 
 } // namespace txdpor

@@ -1,0 +1,334 @@
+//===- fuzz/DifferentialOracle.cpp - Cross-checking explorers/checkers ----===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include "consistency/BruteForceChecker.h"
+#include "consistency/SaturationChecker.h"
+#include "consistency/Witness.h"
+#include "core/Enumerate.h"
+#include "parallel/ParallelExplorer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace txdpor;
+using namespace txdpor::fuzz;
+
+std::optional<CheckerMutation>
+txdpor::fuzz::checkerMutationByName(const std::string &Name) {
+  if (Name == "none")
+    return CheckerMutation::None;
+  if (Name == "weak-cc")
+    return CheckerMutation::WeakCausalPremise;
+  if (Name == "weak-ra")
+    return CheckerMutation::WeakAtomicVisibility;
+  return std::nullopt;
+}
+
+const char *txdpor::fuzz::checkerMutationName(CheckerMutation M) {
+  switch (M) {
+  case CheckerMutation::None:
+    return "none";
+  case CheckerMutation::WeakCausalPremise:
+    return "weak-cc";
+  case CheckerMutation::WeakAtomicVisibility:
+    return "weak-ra";
+  }
+  return "none";
+}
+
+bool txdpor::fuzz::mutatedIsConsistent(const History &H, IsolationLevel Level,
+                                       CheckerMutation M) {
+  // Each mutation decides its level with the axiom premise of the next
+  // weaker saturation level — exactly a weakened instance of the §2.2.2
+  // axiom schema (the forced-edge set shrinks, so the verdict can only
+  // flip from inconsistent to consistent).
+  switch (M) {
+  case CheckerMutation::None:
+    break;
+  case CheckerMutation::WeakCausalPremise:
+    if (Level == IsolationLevel::CausalConsistency)
+      return SaturationChecker(IsolationLevel::ReadAtomic).isConsistent(H);
+    break;
+  case CheckerMutation::WeakAtomicVisibility:
+    if (Level == IsolationLevel::ReadAtomic)
+      return SaturationChecker(IsolationLevel::ReadCommitted).isConsistent(H);
+    break;
+  }
+  return isConsistent(H, Level);
+}
+
+const char *txdpor::fuzz::disagreementKindName(Disagreement::Kind K) {
+  switch (K) {
+  case Disagreement::Kind::ExplorerSetMismatch:
+    return "explorer-set-mismatch";
+  case Disagreement::Kind::DuplicateOutput:
+    return "duplicate-output";
+  case Disagreement::Kind::StarFilterMismatch:
+    return "star-filter-mismatch";
+  case Disagreement::Kind::CheckerVerdictMismatch:
+    return "checker-verdict-mismatch";
+  case Disagreement::Kind::WitnessMismatch:
+    return "witness-mismatch";
+  }
+  return "unknown";
+}
+
+std::optional<Disagreement::Kind>
+txdpor::fuzz::disagreementKindByName(const std::string &Name) {
+  for (Disagreement::Kind K :
+       {Disagreement::Kind::ExplorerSetMismatch,
+        Disagreement::Kind::DuplicateOutput,
+        Disagreement::Kind::StarFilterMismatch,
+        Disagreement::Kind::CheckerVerdictMismatch,
+        Disagreement::Kind::WitnessMismatch})
+    if (Name == disagreementKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+namespace {
+
+std::map<std::string, unsigned> keyMultiset(const std::vector<History> &Hs) {
+  std::map<std::string, unsigned> Counts;
+  for (const History &H : Hs)
+    ++Counts[H.canonicalKey()];
+  return Counts;
+}
+
+/// Renders a terse multiset diff ("only in A: 2 keys; only in B: 1 key").
+std::string diffSummary(const std::map<std::string, unsigned> &A,
+                        const std::map<std::string, unsigned> &B,
+                        const char *NameA, const char *NameB) {
+  unsigned OnlyA = 0, OnlyB = 0, CountDiff = 0;
+  for (const auto &[Key, N] : A) {
+    auto It = B.find(Key);
+    if (It == B.end())
+      ++OnlyA;
+    else if (It->second != N)
+      ++CountDiff;
+  }
+  for (const auto &[Key, N] : B)
+    if (!A.count(Key))
+      ++OnlyB;
+  std::ostringstream OS;
+  OS << "only in " << NameA << ": " << OnlyA << ", only in " << NameB << ": "
+     << OnlyB << ", multiplicity diffs: " << CountDiff;
+  return OS.str();
+}
+
+} // namespace
+
+void DifferentialOracle::checkOneHistory(
+    const History &H, const std::vector<IsolationLevel> &Levels,
+    std::vector<Disagreement> &Out) const {
+  if (Config.MaxBruteForceTxns && H.numTxns() > Config.MaxBruteForceTxns)
+    return;
+  for (IsolationLevel Level : Levels) {
+    bool Reference = BruteForceChecker(Level).isConsistent(H);
+    if (Config.CrossCheckVerdicts) {
+      bool Production = mutatedIsConsistent(H, Level, Config.Mutation);
+      if (Production != Reference) {
+        Disagreement D;
+        D.K = Disagreement::Kind::CheckerVerdictMismatch;
+        D.Level = Level;
+        D.Culprit = H;
+        D.ProductionVerdict = Production;
+        D.ReferenceVerdict = Reference;
+        D.Detail = std::string("production says ") +
+                   (Production ? "consistent" : "inconsistent") +
+                   ", brute-force Def. 2.2 says " +
+                   (Reference ? "consistent" : "inconsistent");
+        Out.push_back(std::move(D));
+      }
+    }
+    if (Config.ValidateWitnesses) {
+      std::optional<std::vector<unsigned>> Order = findCommitOrder(H, Level);
+      if (Order.has_value() != Reference) {
+        Disagreement D;
+        D.K = Disagreement::Kind::WitnessMismatch;
+        D.Level = Level;
+        D.Culprit = H;
+        D.ProductionVerdict = Order.has_value();
+        D.ReferenceVerdict = Reference;
+        D.Detail = std::string("findCommitOrder ") +
+                   (Order ? "returned a certificate" : "found none") +
+                   " but the reference verdict is " +
+                   (Reference ? "consistent" : "inconsistent");
+        Out.push_back(std::move(D));
+      } else if (Order && !validateCommitOrder(H, Level, *Order)) {
+        Disagreement D;
+        D.K = Disagreement::Kind::WitnessMismatch;
+        D.Level = Level;
+        D.Culprit = H;
+        D.ProductionVerdict = true;
+        D.ReferenceVerdict = Reference;
+        D.Detail = "findCommitOrder returned a certificate that fails "
+                   "validateCommitOrder";
+        Out.push_back(std::move(D));
+      }
+    }
+  }
+}
+
+std::vector<Disagreement> DifferentialOracle::checkHistory(
+    const History &H) const {
+  std::vector<Disagreement> Out;
+  checkOneHistory(H, Config.VerdictLevels, Out);
+  return Out;
+}
+
+std::vector<Disagreement> DifferentialOracle::checkProgram(
+    const Program &P, const std::vector<IsolationLevel> &SessionLevels) const {
+  std::vector<Disagreement> Out;
+
+  // A per-session isolation-level mix narrows the sweep: only the named
+  // levels (causally-extensible ones as bases, all of them as verdict
+  // levels) are exercised for this case.
+  std::vector<IsolationLevel> Bases = Config.BaseLevels;
+  std::vector<IsolationLevel> Verdicts = Config.VerdictLevels;
+  if (!SessionLevels.empty()) {
+    Bases.clear();
+    Verdicts.clear();
+    for (IsolationLevel L : SessionLevels) {
+      if (isPrefixClosedCausallyExtensible(L) &&
+          L != IsolationLevel::Trivial &&
+          std::find(Bases.begin(), Bases.end(), L) == Bases.end())
+        Bases.push_back(L);
+      if (L != IsolationLevel::Trivial &&
+          std::find(Verdicts.begin(), Verdicts.end(), L) == Verdicts.end())
+        Verdicts.push_back(L);
+    }
+    if (Bases.empty())
+      Bases.push_back(IsolationLevel::CausalConsistency);
+  }
+
+  std::vector<History> CcOutputs;
+  for (IsolationLevel Base : Bases) {
+    assert(isPrefixClosedCausallyExtensible(Base) &&
+           "explore-ce base must be causally extensible");
+    ExplorerConfig Recursive = ExplorerConfig::exploreCE(Base);
+    // Abort oversized enumerations at the cap instead of paying for the
+    // full (possibly combinatorial) set only to discard it. Without a
+    // filter, outputs are exactly end states, so the cap is precise; the
+    // iterative/parallel legs inherit it but never trigger it (they only
+    // run when the recursive set stayed under the cap).
+    if (Config.MaxHistoriesPerCase)
+      Recursive.MaxEndStates = Config.MaxHistoriesPerCase + 1;
+    EnumerationResult Ref = enumerateHistories(P, Recursive);
+    if (Config.MaxHistoriesPerCase &&
+        (Ref.Stats.HitEndStateCap ||
+         Ref.Histories.size() > Config.MaxHistoriesPerCase))
+      continue; // This base is too large to diff affordably; later
+                // (stronger, smaller) bases still get checked, and an
+                // oversized CC set leaves CcOutputs empty, skipping the
+                // star/per-history phases.
+    auto RefKeys = keyMultiset(Ref.Histories);
+
+    if (Base == IsolationLevel::CausalConsistency)
+      CcOutputs = Ref.Histories;
+
+    if (Config.DiffExplorers) {
+      // Strong optimality: the recursive driver must not emit duplicates.
+      for (const auto &[Key, N] : RefKeys) {
+        if (N == 1)
+          continue;
+        Disagreement D;
+        D.K = Disagreement::Kind::DuplicateOutput;
+        D.Level = Base;
+        for (const History &H : Ref.Histories)
+          if (H.canonicalKey() == Key) {
+            D.Culprit = H;
+            break;
+          }
+        D.Detail = "recursive explorer emitted one history " +
+                   std::to_string(N) + " times under " +
+                   isolationLevelName(Base);
+        Out.push_back(std::move(D));
+        break; // One duplicate report per base is plenty.
+      }
+
+      ExplorerConfig Iterative = Recursive;
+      Iterative.Iterative = true;
+      auto IterKeys = keyMultiset(enumerateHistories(P, Iterative).Histories);
+      if (IterKeys != RefKeys) {
+        Disagreement D;
+        D.K = Disagreement::Kind::ExplorerSetMismatch;
+        D.Level = Base;
+        D.Detail = "iterative vs recursive under " +
+                   std::string(isolationLevelName(Base)) + ": " +
+                   diffSummary(IterKeys, RefKeys, "iterative", "recursive");
+        Out.push_back(std::move(D));
+      }
+
+      if (Config.Threads > 1) {
+        ExplorerConfig Par = Recursive;
+        Par.Threads = Config.Threads;
+        std::vector<History> ParHistories;
+        ParallelExplorer E(P, Par);
+        E.run([&](const History &H) { ParHistories.push_back(H); });
+        auto ParKeys = keyMultiset(ParHistories);
+        if (ParKeys != RefKeys) {
+          Disagreement D;
+          D.K = Disagreement::Kind::ExplorerSetMismatch;
+          D.Level = Base;
+          D.Detail = "parallel(" + std::to_string(Config.Threads) +
+                     ") vs recursive under " + isolationLevelName(Base) +
+                     ": " + diffSummary(ParKeys, RefKeys, "parallel",
+                                        "recursive");
+          Out.push_back(std::move(D));
+        }
+      }
+    }
+  }
+
+  // explore-ce*(CC, I) versus the CC set re-filtered by the production
+  // checker of I. Runs only when CC was part of the sweep.
+  if (Config.DiffStarFilters && !CcOutputs.empty()) {
+    for (IsolationLevel Filter : {IsolationLevel::SnapshotIsolation,
+                                  IsolationLevel::Serializability}) {
+      if (std::find(Verdicts.begin(), Verdicts.end(), Filter) ==
+          Verdicts.end())
+        continue;
+      std::vector<History> Expected;
+      for (const History &H : CcOutputs)
+        if (mutatedIsConsistent(H, Filter, Config.Mutation))
+          Expected.push_back(H);
+      auto Star = keyMultiset(
+          enumerateHistories(
+              P, ExplorerConfig::exploreCEStar(
+                     IsolationLevel::CausalConsistency, Filter))
+              .Histories);
+      auto Want = keyMultiset(Expected);
+      if (Star != Want) {
+        Disagreement D;
+        D.K = Disagreement::Kind::StarFilterMismatch;
+        D.Level = Filter;
+        D.Detail = std::string("explore-ce*(CC, ") +
+                   isolationLevelName(Filter) +
+                   ") vs re-filtered explore-ce(CC): " +
+                   diffSummary(Star, Want, "star", "filtered");
+        Out.push_back(std::move(D));
+      }
+    }
+  }
+
+  // Per-output-history verdict and witness cross-checks (over the
+  // narrowed levels for mixed-level cases).
+  if ((Config.CrossCheckVerdicts || Config.ValidateWitnesses) &&
+      !CcOutputs.empty()) {
+    for (const History &H : CcOutputs) {
+      checkOneHistory(H, Verdicts, Out);
+      if (Out.size() >= 8)
+        break; // Enough evidence for one case.
+    }
+  }
+
+  return Out;
+}

@@ -1,0 +1,165 @@
+//===- fuzz/DifferentialOracle.h - Cross-checking explorers and checkers --===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's oracle: runs one generated workload through redundant
+/// implementations that must agree, and reports every disagreement.
+///
+/// For a *program* the oracle diffs, per base level,
+///
+///   * the recursive, iterative (§7.1) and parallel explorers — identical
+///     canonical output-history multisets (soundness/completeness of each
+///     driver relative to the others) and no duplicates (strong
+///     optimality, Thm. 5.1);
+///   * explore-ce*(CC, I) against the explore-ce(CC) set re-filtered by
+///     the production checker of I (Cor. 6.2 plumbing).
+///
+/// For a *history* (an explorer output or a raw generated history) it
+/// diffs, per isolation level, the production checker verdict
+/// (SaturationChecker / SnapshotIsolationChecker / SerializabilityChecker)
+/// against BruteForceChecker — the literal Def. 2.2 enumeration — and
+/// validates the commit-order certificate of consistency/Witness.h.
+///
+/// CheckerMutation is a test-only hook that deliberately weakens an axiom
+/// of the production side; the mutation-smoke test asserts the fuzzer
+/// catches each mutation within a bounded seed budget (a live check that
+/// the oracle has teeth). Production code never enables a mutation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_FUZZ_DIFFERENTIALORACLE_H
+#define TXDPOR_FUZZ_DIFFERENTIALORACLE_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "program/Program.h"
+#include "support/Deadline.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace txdpor {
+namespace fuzz {
+
+/// Test-only axiom weakenings injected into the production side of the
+/// verdict cross-check (see mutatedIsConsistent).
+enum class CheckerMutation : uint8_t {
+  None,
+  /// Decide CC with RA's axiom premise (so ∪ wr instead of its transitive
+  /// closure) — drops the causal saturation step, admitting histories
+  /// with two-hop causality violations.
+  WeakCausalPremise,
+  /// Decide RA with RC's event-granular premise — forgets that an RA
+  /// read-set must be atomic across variables.
+  WeakAtomicVisibility,
+};
+
+/// Parses "none" / "weak-cc" / "weak-ra".
+std::optional<CheckerMutation> checkerMutationByName(const std::string &Name);
+const char *checkerMutationName(CheckerMutation M);
+
+/// The production-side verdict with \p M applied (the identity for
+/// CheckerMutation::None).
+bool mutatedIsConsistent(const History &H, IsolationLevel Level,
+                         CheckerMutation M);
+
+/// One observed disagreement between redundant implementations.
+struct Disagreement {
+  enum class Kind : uint8_t {
+    /// The iterative or parallel explorer produced a different canonical
+    /// output multiset than the recursive explorer.
+    ExplorerSetMismatch,
+    /// An explorer emitted the same history twice (optimality breach).
+    DuplicateOutput,
+    /// explore-ce*(CC, I) disagrees with the re-filtered explore-ce(CC)
+    /// set.
+    StarFilterMismatch,
+    /// Production checker verdict differs from the brute-force Def. 2.2
+    /// reference on one history.
+    CheckerVerdictMismatch,
+    /// findCommitOrder disagrees with the reference verdict, or its
+    /// certificate fails validateCommitOrder.
+    WitnessMismatch,
+  };
+
+  Kind K = Kind::CheckerVerdictMismatch;
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  std::string Detail;
+  /// The offending history for history-scoped kinds (verdict/witness and
+  /// duplicate kinds); unset for whole-set mismatches.
+  std::optional<History> Culprit;
+  /// Verdicts for CheckerVerdictMismatch / WitnessMismatch.
+  bool ProductionVerdict = false;
+  bool ReferenceVerdict = false;
+};
+
+/// Stable kebab-case name used in repro files and log lines.
+const char *disagreementKindName(Disagreement::Kind K);
+std::optional<Disagreement::Kind>
+disagreementKindByName(const std::string &Name);
+
+/// Knobs of one oracle instance.
+struct OracleConfig {
+  /// Base levels of the explorer diff (must be causally extensible).
+  std::vector<IsolationLevel> BaseLevels = {
+      IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic,
+      IsolationLevel::CausalConsistency};
+  /// Levels of the per-history verdict cross-check.
+  std::vector<IsolationLevel> VerdictLevels = {
+      IsolationLevel::ReadCommitted, IsolationLevel::ReadAtomic,
+      IsolationLevel::CausalConsistency, IsolationLevel::SnapshotIsolation,
+      IsolationLevel::Serializability};
+  bool DiffExplorers = true;
+  bool DiffStarFilters = true;
+  bool CrossCheckVerdicts = true;
+  bool ValidateWitnesses = true;
+  /// Worker threads of the parallel leg (<= 1 skips it).
+  unsigned Threads = 2;
+  /// A base level whose output set exceeds this is skipped (its explorer
+  /// diff would be unaffordable); when the CC set itself is oversized,
+  /// the star-filter and per-history checks are skipped with it.
+  /// 0 = unlimited.
+  uint64_t MaxHistoriesPerCase = 256;
+  /// Histories with more transactions than this skip the brute-force
+  /// cross-check (the reference enumerates commit orders).
+  unsigned MaxBruteForceTxns = 9;
+  /// Test-only axiom weakening of the production side.
+  CheckerMutation Mutation = CheckerMutation::None;
+};
+
+/// Stateless differential oracle over one configuration.
+class DifferentialOracle {
+public:
+  explicit DifferentialOracle(OracleConfig Config)
+      : Config(std::move(Config)) {}
+
+  const OracleConfig &config() const { return Config; }
+
+  /// Cross-checks every implementation pair on \p P. A non-empty
+  /// \p SessionLevels (a generated per-session isolation-level mix)
+  /// narrows the sweep to the levels it names.
+  std::vector<Disagreement>
+  checkProgram(const Program &P,
+               const std::vector<IsolationLevel> &SessionLevels = {}) const;
+
+  /// Cross-checks the consistency checkers and witness machinery on one
+  /// history.
+  std::vector<Disagreement> checkHistory(const History &H) const;
+
+private:
+  void checkOneHistory(const History &H,
+                       const std::vector<IsolationLevel> &Levels,
+                       std::vector<Disagreement> &Out) const;
+
+  OracleConfig Config;
+};
+
+} // namespace fuzz
+} // namespace txdpor
+
+#endif // TXDPOR_FUZZ_DIFFERENTIALORACLE_H

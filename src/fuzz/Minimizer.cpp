@@ -1,0 +1,184 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging counterexample shrinking ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "history/Prefix.h"
+
+using namespace txdpor;
+using namespace txdpor::fuzz;
+
+History txdpor::fuzz::minimizeHistory(const History &H,
+                                      const HistoryPredicate &StillFails) {
+  return shrinkToCore(H, StillFails);
+}
+
+namespace {
+
+/// Mutable intermediate representation of one transaction: the name, the
+/// local names in interning order (so LocalIds in the copied instructions
+/// keep meaning), and the body.
+struct TxnSketch {
+  std::string Name;
+  std::vector<std::string> Locals;
+  std::vector<Instr> Body;
+};
+
+/// Mutable program: sessions of transaction sketches plus variable names.
+struct ProgramSketch {
+  std::vector<std::vector<TxnSketch>> Sessions;
+  std::vector<std::string> Vars;
+};
+
+ProgramSketch sketchOf(const Program &P) {
+  ProgramSketch S;
+  for (VarId V = 0; V != P.numVars(); ++V)
+    S.Vars.push_back(P.varName(V));
+  S.Sessions.resize(P.numSessions());
+  for (unsigned Sess = 0; Sess != P.numSessions(); ++Sess) {
+    for (unsigned T = 0; T != P.numTxns(Sess); ++T) {
+      const Transaction &Txn = P.txn({Sess, T});
+      TxnSketch Sketch;
+      Sketch.Name = Txn.name();
+      for (LocalId L = 0; L != Txn.numLocals(); ++L)
+        Sketch.Locals.push_back(Txn.localName(L));
+      Sketch.Body = Txn.body();
+      S.Sessions[Sess].push_back(std::move(Sketch));
+    }
+  }
+  return S;
+}
+
+Program buildFrom(const ProgramSketch &S) {
+  ProgramBuilder B;
+  for (const std::string &V : S.Vars)
+    B.var(V);
+  unsigned NextSession = 0;
+  for (const std::vector<TxnSketch> &Session : S.Sessions) {
+    if (Session.empty())
+      continue; // Dropped sessions compact the numbering.
+    for (const TxnSketch &Sketch : Session) {
+      auto T = B.beginTxn(NextSession, Sketch.Name);
+      for (const std::string &L : Sketch.Locals)
+        T.internLocal(L);
+      for (const Instr &I : Sketch.Body)
+        T.append(I);
+    }
+    ++NextSession;
+  }
+  return B.build();
+}
+
+/// Tries \p Candidate; on success commits it into \p Best and returns
+/// true.
+bool accept(const ProgramSketch &Candidate, const ProgramPredicate &StillFails,
+            ProgramSketch &Best) {
+  Program P = buildFrom(Candidate);
+  if (P.numSessions() == 0)
+    return false; // The empty program is never an interesting repro.
+  if (!StillFails(P))
+    return false;
+  Best = Candidate;
+  return true;
+}
+
+bool dropSessions(ProgramSketch &S, const ProgramPredicate &StillFails) {
+  bool Changed = false;
+  for (unsigned Sess = static_cast<unsigned>(S.Sessions.size()); Sess-- > 0;) {
+    if (S.Sessions[Sess].empty())
+      continue;
+    ProgramSketch Candidate = S;
+    Candidate.Sessions.erase(Candidate.Sessions.begin() + Sess);
+    if (accept(Candidate, StillFails, S))
+      Changed = true;
+  }
+  return Changed;
+}
+
+bool dropTransactions(ProgramSketch &S, const ProgramPredicate &StillFails) {
+  bool Changed = false;
+  for (unsigned Sess = static_cast<unsigned>(S.Sessions.size()); Sess-- > 0;) {
+    // Latest transactions first: they have no session successors, so
+    // removing them perturbs the rest of the session least.
+    for (unsigned T = static_cast<unsigned>(S.Sessions[Sess].size());
+         T-- > 0;) {
+      ProgramSketch Candidate = S;
+      Candidate.Sessions[Sess].erase(Candidate.Sessions[Sess].begin() + T);
+      if (accept(Candidate, StillFails, S))
+        Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool dropInstructions(ProgramSketch &S, const ProgramPredicate &StillFails) {
+  bool Changed = false;
+  for (unsigned Sess = static_cast<unsigned>(S.Sessions.size()); Sess-- > 0;) {
+    for (unsigned T = static_cast<unsigned>(S.Sessions[Sess].size());
+         T-- > 0;) {
+      for (unsigned I =
+               static_cast<unsigned>(S.Sessions[Sess][T].Body.size());
+           I-- > 0;) {
+        ProgramSketch Candidate = S;
+        std::vector<Instr> &Body = Candidate.Sessions[Sess][T].Body;
+        Body.erase(Body.begin() + I);
+        if (accept(Candidate, StillFails, S))
+          Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool simplifyExpressions(ProgramSketch &S, const ProgramPredicate &StillFails) {
+  bool Changed = false;
+  for (unsigned Sess = 0; Sess != S.Sessions.size(); ++Sess) {
+    for (unsigned T = 0; T != S.Sessions[Sess].size(); ++T) {
+      for (unsigned I = 0; I != S.Sessions[Sess][T].Body.size(); ++I) {
+        const Instr &Orig = S.Sessions[Sess][T].Body[I];
+        // Strip the guard (makes the instruction unconditional).
+        if (Orig.Guard.valid()) {
+          ProgramSketch Candidate = S;
+          Candidate.Sessions[Sess][T].Body[I].Guard = ExprRef();
+          if (accept(Candidate, StillFails, S)) {
+            Changed = true;
+            continue;
+          }
+        }
+        // Collapse a non-trivial right-hand side to a small constant.
+        if (Orig.Rhs.valid() &&
+            Orig.Rhs.Node->kind() != ExprKind::Const) {
+          ProgramSketch Candidate = S;
+          Candidate.Sessions[Sess][T].Body[I].Rhs = ExprRef(1);
+          if (accept(Candidate, StillFails, S))
+            Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+Program txdpor::fuzz::minimizeProgram(const Program &P,
+                                      const ProgramPredicate &StillFails) {
+  assert(StillFails(P) && "nothing to minimize: the predicate must hold");
+  ProgramSketch S = sketchOf(P);
+  // Coarse-to-fine greedy passes, repeated until a full sweep changes
+  // nothing (dropping an instruction can unlock dropping a session, so a
+  // single ordered pass is not enough).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= dropSessions(S, StillFails);
+    Changed |= dropTransactions(S, StillFails);
+    Changed |= dropInstructions(S, StillFails);
+    Changed |= simplifyExpressions(S, StillFails);
+  }
+  return buildFrom(S);
+}

@@ -1,0 +1,56 @@
+//===- fuzz/Minimizer.h - Delta-debugging counterexample shrinking --------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a disagreeing workload to a minimal repro while a caller-
+/// supplied predicate ("the disagreement persists") keeps holding:
+///
+///   * minimizeHistory — transaction-granular delta debugging over a
+///     history, via the shared prefix-closure shrinker
+///     (history/Prefix.h: shrinkToCore);
+///   * minimizeProgram — structural passes over a program: drop whole
+///     sessions, drop transactions, drop individual instructions, then
+///     simplify expressions (strip guards, collapse right-hand sides to
+///     small constants).
+///
+/// Every candidate is rebuilt through ProgramBuilder so the result is a
+/// well-formed program with compact session numbering; greedy passes
+/// repeat to a fixpoint, so the result is locally minimal (1-minimal per
+/// pass granularity). The predicate is typically "the differential
+/// oracle still reports a disagreement of the same kind and level" —
+/// see fuzz/Fuzzer.cpp for the canonical wiring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_FUZZ_MINIMIZER_H
+#define TXDPOR_FUZZ_MINIMIZER_H
+
+#include "history/History.h"
+#include "program/Program.h"
+
+#include <functional>
+
+namespace txdpor {
+namespace fuzz {
+
+/// True when the candidate still exhibits the behaviour being shrunk.
+using HistoryPredicate = std::function<bool(const History &)>;
+using ProgramPredicate = std::function<bool(const Program &)>;
+
+/// Shrinks \p H to a locally-minimal history on which \p StillFails
+/// holds. \p StillFails must hold on \p H itself.
+History minimizeHistory(const History &H, const HistoryPredicate &StillFails);
+
+/// Shrinks \p P to a locally-minimal program on which \p StillFails
+/// holds: drop sessions → drop transactions → drop instructions →
+/// simplify expressions. \p StillFails must hold on \p P itself.
+Program minimizeProgram(const Program &P, const ProgramPredicate &StillFails);
+
+} // namespace fuzz
+} // namespace txdpor
+
+#endif // TXDPOR_FUZZ_MINIMIZER_H

@@ -1,0 +1,227 @@
+//===- fuzz/ProgramGenerator.cpp - Seeded program/history generation ------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgramGenerator.h"
+
+#include "sql/Table.h"
+
+using namespace txdpor;
+using namespace txdpor::fuzz;
+
+History txdpor::fuzz::generateHistory(Rng &R, const HistoryShape &Shape) {
+  History H = History::makeInitial(Shape.NumVars);
+
+  // Interleave transaction creation across sessions in a random order so
+  // block order is not simply session-major.
+  std::vector<uint32_t> NextIndex(Shape.NumSessions, 0);
+  unsigned Remaining = Shape.NumSessions * Shape.TxnsPerSession;
+  Value NextValue = 1;
+
+  while (Remaining > 0) {
+    uint32_t S;
+    do {
+      S = static_cast<uint32_t>(R.nextBelow(Shape.NumSessions));
+    } while (NextIndex[S] >= Shape.TxnsPerSession);
+    unsigned Idx = H.beginTxn({S, NextIndex[S]++});
+    --Remaining;
+
+    unsigned NumOps =
+        1 + static_cast<unsigned>(R.nextBelow(Shape.MaxOpsPerTxn));
+    for (unsigned Op = 0; Op != NumOps; ++Op) {
+      VarId X = static_cast<VarId>(R.nextBelow(Shape.NumVars));
+      if (R.chance(1, 2)) {
+        H.appendEvent(Idx, Event::makeWrite(X, NextValue++));
+        continue;
+      }
+      H.appendEvent(Idx, Event::makeRead(X));
+      uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
+      if (!H.txn(Idx).isExternalRead(Pos))
+        continue; // Read-local; no wr dependency.
+      // Pick any earlier committed writer of X (init always qualifies).
+      std::vector<unsigned> Writers;
+      for (unsigned W = 0; W != Idx; ++W)
+        if (H.txn(W).isCommitted() && H.txn(W).writesVar(X))
+          Writers.push_back(W);
+      assert(!Writers.empty() && "init always writes every variable");
+      unsigned W = Writers[R.nextBelow(Writers.size())];
+      H.setWriter(Idx, Pos, H.txn(W).uid());
+    }
+    if (R.chance(Shape.AbortPercent, 100))
+      H.appendEvent(Idx, Event::makeAbort());
+    else
+      H.appendEvent(Idx, Event::makeCommit());
+  }
+  H.checkWellFormed();
+  return H;
+}
+
+namespace {
+
+/// Emits one SQL statement batch as the body of \p Txn: 1..MaxOpsPerTxn
+/// statements drawn among INSERT / DELETE / SELECT-by-id / UPDATE-by-id /
+/// full scan / UPDATE-where.
+void emitSqlTxn(Rng &R, Table &Tbl, ProgramBuilder::TxnHandle &Txn,
+                const ProgramShape &Shape, Value &NextValue) {
+  unsigned NumStmts =
+      1 + static_cast<unsigned>(R.nextBelow(Shape.MaxOpsPerTxn));
+  for (unsigned Stmt = 0; Stmt != NumStmts; ++Stmt) {
+    unsigned Row = static_cast<unsigned>(R.nextBelow(Tbl.maxRows()));
+    unsigned Col = static_cast<unsigned>(R.nextBelow(Tbl.numColumns()));
+    std::string ColName = "c" + std::to_string(Col);
+    switch (R.nextBelow(6)) {
+    case 0: {
+      std::vector<ExprRef> Values;
+      for (unsigned C = 0; C != Tbl.numColumns(); ++C)
+        Values.push_back(ExprRef(NextValue++));
+      Tbl.insert(Txn, Row, Values);
+      break;
+    }
+    case 1:
+      Tbl.remove(Txn, Row);
+      break;
+    case 2:
+      Tbl.selectById(Txn, Row, "q" + std::to_string(Stmt));
+      break;
+    case 3:
+      Tbl.updateById(Txn, Row, ColName, ExprRef(NextValue++));
+      break;
+    case 4:
+      Tbl.scan(Txn, "s" + std::to_string(Stmt));
+      break;
+    default:
+      Tbl.updateWhere(
+          Txn, ColName, ExprRef(NextValue++),
+          [&](std::function<ExprRef(const std::string &)> Cell) {
+            return eq(Cell(ColName), 0);
+          });
+      break;
+    }
+  }
+}
+
+} // namespace
+
+Program txdpor::fuzz::generateProgram(Rng &R, const ProgramShape &Shape) {
+  ProgramBuilder B;
+  std::vector<VarId> Vars;
+  for (unsigned V = 0; V != Shape.NumVars; ++V)
+    Vars.push_back(B.var("x" + std::to_string(V)));
+
+  // The table (and its set/cell variables) exists only when the SQL knob
+  // is on: shapes without it stay bit-compatible with the legacy
+  // test-local generator.
+  std::optional<Table> Tbl;
+  if (Shape.SqlTxnPercent > 0) {
+    std::vector<std::string> Columns;
+    for (unsigned C = 0; C != Shape.SqlColumns; ++C)
+      Columns.push_back("c" + std::to_string(C));
+    Tbl.emplace(B, "t", Shape.SqlMaxRows, Columns);
+  }
+
+  Value NextValue = 1;
+  for (unsigned S = 0; S != Shape.NumSessions; ++S) {
+    for (unsigned T = 0; T != Shape.TxnsPerSession; ++T) {
+      auto Txn = B.beginTxn(S);
+      if (Tbl && R.chance(Shape.SqlTxnPercent, 100)) {
+        emitSqlTxn(R, *Tbl, Txn, Shape, NextValue);
+        continue;
+      }
+      unsigned NumOps =
+          1 + static_cast<unsigned>(R.nextBelow(Shape.MaxOpsPerTxn));
+      unsigned NumReads = 0;
+      for (unsigned Op = 0; Op != NumOps; ++Op) {
+        VarId X = Vars[R.nextBelow(Vars.size())];
+        switch (R.nextBelow(4)) {
+        case 0:
+          Txn.write(X, NextValue++);
+          break;
+        case 1: {
+          // Data-dependent write: propagate a read value.
+          if (NumReads == 0) {
+            Txn.write(X, NextValue++);
+            break;
+          }
+          std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
+          Txn.write(X, Txn.local(Src) + 1);
+          break;
+        }
+        case 2:
+          if (Shape.WithGuards && NumReads > 0) {
+            std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
+            Txn.write(X, NextValue++, eq(Txn.local(Src), 0));
+            break;
+          }
+          [[fallthrough]];
+        default:
+          Txn.read("r" + std::to_string(NumReads++), X);
+          break;
+        }
+      }
+      if (Shape.WithAborts && NumReads > 0 && R.chance(1, 5)) {
+        std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
+        Txn.abort(eq(Txn.local(Src), 0));
+      }
+    }
+  }
+  return B.build();
+}
+
+GeneratedCase txdpor::fuzz::generateCase(Rng &R, const ProgramShape &Shape) {
+  GeneratedCase Case;
+  Case.Prog = generateProgram(R, Shape);
+  if (Shape.LevelMixPercent > 0 && R.chance(Shape.LevelMixPercent, 100)) {
+    for (unsigned S = 0; S != Shape.NumSessions; ++S)
+      Case.SessionLevels.push_back(
+          AllIsolationLevels[R.nextBelow(AllIsolationLevels.size())]);
+  }
+  return Case;
+}
+
+std::optional<ProgramShape>
+txdpor::fuzz::programShapeByName(const std::string &Name) {
+  ProgramShape Shape; // "default"
+  if (Name == "default")
+    return Shape;
+  if (Name == "tiny") {
+    Shape.TxnsPerSession = 1;
+    Shape.WithGuards = false;
+    Shape.WithAborts = false;
+    return Shape;
+  }
+  if (Name == "wide") {
+    Shape.NumSessions = 3;
+    Shape.NumVars = 3;
+    return Shape;
+  }
+  if (Name == "deep") {
+    Shape.TxnsPerSession = 3;
+    Shape.MaxOpsPerTxn = 3;
+    return Shape;
+  }
+  if (Name == "sql") {
+    Shape.SqlTxnPercent = 60;
+    return Shape;
+  }
+  if (Name == "mixed") {
+    Shape.LevelMixPercent = 100;
+    return Shape;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> txdpor::fuzz::programShapeNames() {
+  return {"tiny", "default", "wide", "deep", "sql", "mixed"};
+}
+
+HistoryShape txdpor::fuzz::historyShapeFor(const ProgramShape &Shape) {
+  HistoryShape H;
+  H.NumVars = Shape.NumVars;
+  H.NumSessions = Shape.NumSessions;
+  H.TxnsPerSession = Shape.TxnsPerSession;
+  H.MaxOpsPerTxn = Shape.MaxOpsPerTxn + 1;
+  return H;
+}

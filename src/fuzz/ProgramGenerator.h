@@ -1,0 +1,125 @@
+//===- fuzz/ProgramGenerator.h - Seeded program/history generation --------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single randomized-workload generator shared by the test suite, the
+/// bench harnesses and the differential fuzzer (fuzz/Fuzzer.h). Two
+/// entry points:
+///
+///   * generateHistory — a structurally valid (Def. 2.1) complete history
+///     whose reads pick among earlier committed writers; consistency
+///     against any particular level is *not* guaranteed, which is exactly
+///     what the checker cross-validation wants.
+///   * generateProgram — a program in the Fig. 1 language sweeping the
+///     features the explorer branches on: guards, conditional aborts,
+///     read-dependent writes, and (optionally) multi-row SQL statement
+///     batches compiled through sql::Table (§7.2).
+///
+/// Determinism contract: for a fixed (seed, shape) the output is
+/// bit-identical across platforms and standard libraries — the generator
+/// draws only from support/Rng.h (SplitMix64 plus hand-rolled bounded
+/// sampling; see the golden-sequence test in tests/support_test.cpp) and
+/// every optional feature consumes randomness *only when its knob is
+/// enabled*, so shapes without a knob reproduce the sequences of the
+/// legacy test-local generators exactly (tests/TestUtil.h now forwards
+/// here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_FUZZ_PROGRAMGENERATOR_H
+#define TXDPOR_FUZZ_PROGRAMGENERATOR_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "program/Program.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace txdpor {
+namespace fuzz {
+
+/// Shape of random complete histories (checker cross-validation corpus).
+struct HistoryShape {
+  unsigned NumVars = 2;
+  unsigned NumSessions = 2;
+  unsigned TxnsPerSession = 2;
+  unsigned MaxOpsPerTxn = 3;
+  unsigned AbortPercent = 10;
+};
+
+/// Generates a structurally valid (Def. 2.1) complete history: reads pick
+/// a writer among the initial transaction and earlier-created writers of
+/// the variable, which keeps so ∪ wr acyclic by construction.
+History generateHistory(Rng &R, const HistoryShape &Shape);
+
+/// Shape of random programs (explorer + end-to-end corpus).
+struct ProgramShape {
+  unsigned NumVars = 2;
+  unsigned NumSessions = 2;
+  unsigned TxnsPerSession = 2;
+  unsigned MaxOpsPerTxn = 2;
+  bool WithGuards = true;
+  bool WithAborts = true;
+
+  /// Chance (percent) that a transaction is a batch of SQL statements
+  /// against a shared sql::Table instead of plain reads/writes. 0 keeps
+  /// the generator bit-compatible with the legacy test generator (no
+  /// extra randomness is drawn, no table variables are interned).
+  unsigned SqlTxnPercent = 0;
+  unsigned SqlMaxRows = 2;
+  unsigned SqlColumns = 1;
+
+  /// Chance (percent) that a generated case carries a per-session
+  /// isolation-level mix (generateCase only): the differential oracle
+  /// narrows its level sweep to the levels named by the mix, adding
+  /// scenario diversity along the axis of Bouajjani et al.'s mixed
+  /// isolation-level follow-up (PAPERS.md, arXiv 2505.18409). 0 draws no
+  /// extra randomness.
+  unsigned LevelMixPercent = 0;
+};
+
+/// Generates a small random transactional program.
+Program generateProgram(Rng &R, const ProgramShape &Shape);
+
+/// A generated fuzz case: the program plus the (possibly empty)
+/// per-session isolation-level mix sampled from the shape.
+struct GeneratedCase {
+  Program Prog;
+  /// One level per session when the shape's LevelMixPercent fired;
+  /// empty otherwise (= sweep the oracle's default levels).
+  std::vector<IsolationLevel> SessionLevels;
+};
+
+/// Generates a program and, per ProgramShape::LevelMixPercent, a
+/// per-session isolation-level mix. The program draw is identical to
+/// generateProgram on the same Rng stream (the mix is sampled after it).
+GeneratedCase generateCase(Rng &R, const ProgramShape &Shape);
+
+/// Named program-shape presets for `txdpor-cli fuzz --shape`:
+///   tiny     — 2 sessions × 1 txn, no guards/aborts (fast triage)
+///   default  — 2 × 2 with guards and aborts
+///   wide     — 3 sessions × 2 txns, 3 vars
+///   deep     — 2 sessions × 3 txns, up to 3 ops
+///   sql      — default plus 60% SQL statement batches
+///   mixed    — default plus per-session isolation-level mixes
+std::optional<ProgramShape> programShapeByName(const std::string &Name);
+
+/// All preset names, in the order listed above.
+std::vector<std::string> programShapeNames();
+
+/// The history shape the fuzzer pairs with a program shape: same session/
+/// transaction/variable counts, op count from the program shape + 1 (the
+/// legacy history corpus used one more op per transaction).
+HistoryShape historyShapeFor(const ProgramShape &Shape);
+
+} // namespace fuzz
+} // namespace txdpor
+
+#endif // TXDPOR_FUZZ_PROGRAMGENERATOR_H

@@ -1,0 +1,506 @@
+//===- fuzz/Repro.cpp - Self-contained litmus repro files -----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Repro.h"
+
+#include "history/Serialize.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+using namespace txdpor;
+using namespace txdpor::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Program text: expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "add";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Mul:
+    return "mul";
+  case BinaryOp::Eq:
+    return "eq";
+  case BinaryOp::Ne:
+    return "ne";
+  case BinaryOp::Lt:
+    return "lt";
+  case BinaryOp::Le:
+    return "le";
+  case BinaryOp::Gt:
+    return "gt";
+  case BinaryOp::Ge:
+    return "ge";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::BitAnd:
+    return "bitand";
+  case BinaryOp::BitOr:
+    return "bitor";
+  }
+  return "?";
+}
+
+std::optional<BinaryOp> binaryOpByName(const std::string &Name) {
+  for (BinaryOp Op :
+       {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Eq,
+        BinaryOp::Ne, BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge,
+        BinaryOp::And, BinaryOp::Or, BinaryOp::BitAnd, BinaryOp::BitOr})
+    if (Name == binaryOpName(Op))
+      return Op;
+  return std::nullopt;
+}
+
+void writeExpr(std::ostream &OS, const Expr::NodeRef &E,
+               const Transaction &Txn) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    OS << "(const " << E->constVal() << ')';
+    return;
+  case ExprKind::Local:
+    OS << "(local " << Txn.localName(E->localId()) << ')';
+    return;
+  case ExprKind::Unary:
+    OS << '(' << (E->unaryOp() == UnaryOp::Not ? "not" : "neg") << ' ';
+    writeExpr(OS, E->lhs(), Txn);
+    OS << ')';
+    return;
+  case ExprKind::Binary:
+    OS << '(' << binaryOpName(E->binaryOp()) << ' ';
+    writeExpr(OS, E->lhs(), Txn);
+    OS << ' ';
+    writeExpr(OS, E->rhs(), Txn);
+    OS << ')';
+    return;
+  }
+}
+
+/// Exception-free integer parsing: the parsers must return nullopt with
+/// a diagnostic on malformed (possibly hand-edited) input, never throw.
+std::optional<int64_t> parseInt(const std::string &Tok) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Tok.c_str(), &End, 10);
+  if (Tok.empty() || *End != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<int64_t>(V);
+}
+
+std::optional<uint64_t> parseUInt(const std::string &Tok) {
+  if (Tok.empty() || Tok.front() == '-')
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Tok.c_str(), &End, 10);
+  if (*End != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+/// Splits a line into tokens; '(' and ')' are tokens of their own.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  for (char C : Line) {
+    if (C == '(' || C == ')') {
+      if (!Current.empty()) {
+        Tokens.push_back(Current);
+        Current.clear();
+      }
+      Tokens.push_back(std::string(1, C));
+    } else if (C == ' ' || C == '\t') {
+      if (!Current.empty()) {
+        Tokens.push_back(Current);
+        Current.clear();
+      }
+    } else {
+      Current.push_back(C);
+    }
+  }
+  if (!Current.empty())
+    Tokens.push_back(Current);
+  return Tokens;
+}
+
+/// Recursive-descent s-expression parser over tokenize() output.
+/// Locals are interned on sight through \p T.
+std::optional<ExprRef> parseExpr(const std::vector<std::string> &Tokens,
+                                 size_t &Pos, ProgramBuilder::TxnHandle &T,
+                                 std::string &Error) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<ExprRef> {
+    Error = Msg;
+    return std::nullopt;
+  };
+  if (Pos >= Tokens.size() || Tokens[Pos] != "(")
+    return Fail("expected '(' in expression");
+  ++Pos;
+  if (Pos >= Tokens.size())
+    return Fail("unterminated expression");
+  std::string Head = Tokens[Pos++];
+  ExprRef Result;
+  if (Head == "const") {
+    if (Pos >= Tokens.size())
+      return Fail("const needs a value");
+    std::optional<int64_t> V = parseInt(Tokens[Pos++]);
+    if (!V)
+      return Fail("bad const value '" + Tokens[Pos - 1] + "'");
+    Result = ExprRef(Expr::makeConst(*V));
+  } else if (Head == "local") {
+    if (Pos >= Tokens.size())
+      return Fail("local needs a name");
+    Result = ExprRef(Expr::makeLocal(T.internLocal(Tokens[Pos++])));
+  } else if (Head == "not" || Head == "neg") {
+    std::optional<ExprRef> Operand = parseExpr(Tokens, Pos, T, Error);
+    if (!Operand)
+      return std::nullopt;
+    Result = ExprRef(Expr::makeUnary(
+        Head == "not" ? UnaryOp::Not : UnaryOp::Neg, Operand->Node));
+  } else if (std::optional<BinaryOp> Op = binaryOpByName(Head)) {
+    std::optional<ExprRef> Lhs = parseExpr(Tokens, Pos, T, Error);
+    if (!Lhs)
+      return std::nullopt;
+    std::optional<ExprRef> Rhs = parseExpr(Tokens, Pos, T, Error);
+    if (!Rhs)
+      return std::nullopt;
+    Result = ExprRef(Expr::makeBinary(*Op, Lhs->Node, Rhs->Node));
+  } else {
+    return Fail("unknown expression head '" + Head + "'");
+  }
+  if (Pos >= Tokens.size() || Tokens[Pos] != ")")
+    return Fail("expected ')' in expression");
+  ++Pos;
+  return Result;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Program text: programs
+//===----------------------------------------------------------------------===//
+
+std::string txdpor::fuzz::writeProgramText(const Program &P) {
+  std::ostringstream OS;
+  OS << "vars";
+  for (VarId V = 0; V != P.numVars(); ++V)
+    OS << ' ' << P.varName(V);
+  OS << '\n';
+  for (unsigned S = 0; S != P.numSessions(); ++S) {
+    OS << "session " << S << '\n';
+    for (unsigned T = 0; T != P.numTxns(S); ++T) {
+      const Transaction &Txn = P.txn({S, T});
+      OS << "txn";
+      if (!Txn.name().empty())
+        OS << ' ' << Txn.name();
+      OS << '\n';
+      for (const Instr &I : Txn.body()) {
+        OS << "  ";
+        switch (I.Kind) {
+        case InstrKind::Read:
+          OS << "read " << Txn.localName(I.Target) << ' '
+             << P.varName(I.Var);
+          break;
+        case InstrKind::Write:
+          OS << "write " << P.varName(I.Var) << ' ';
+          writeExpr(OS, I.Rhs.Node, Txn);
+          break;
+        case InstrKind::Assign:
+          OS << "assign " << Txn.localName(I.Target) << ' ';
+          writeExpr(OS, I.Rhs.Node, Txn);
+          break;
+        case InstrKind::Abort:
+          OS << "abort";
+          break;
+        }
+        if (I.Guard.valid()) {
+          OS << " if ";
+          writeExpr(OS, I.Guard.Node, Txn);
+        }
+        OS << '\n';
+      }
+    }
+  }
+  return OS.str();
+}
+
+std::optional<Program> txdpor::fuzz::parseProgramText(const std::string &Text,
+                                                      std::string *Error) {
+  auto Fail = [&](unsigned LineNo,
+                  const std::string &Msg) -> std::optional<Program> {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  ProgramBuilder B;
+  std::unordered_map<std::string, VarId> Vars;
+  std::optional<ProgramBuilder::TxnHandle> Txn;
+  unsigned CurrentSession = 0;
+  bool SawSession = false, SawVars = false;
+
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tokens = tokenize(Line);
+    if (Tokens.empty() || Tokens.front().front() == '#')
+      continue;
+    const std::string &Head = Tokens.front();
+
+    if (Head == "vars") {
+      for (size_t I = 1; I != Tokens.size(); ++I)
+        Vars.emplace(Tokens[I], B.var(Tokens[I]));
+      SawVars = true;
+      continue;
+    }
+    if (Head == "session") {
+      std::optional<uint64_t> N =
+          Tokens.size() == 2 ? parseUInt(Tokens[1]) : std::nullopt;
+      if (!N)
+        return Fail(LineNo, "session needs a number");
+      // ProgramBuilder creates sessions up to the highest number seen, so
+      // bound it: a hand-edited "session 4000000000" must be a
+      // diagnostic, not a multi-gigabyte allocation.
+      if (*N > 4096)
+        return Fail(LineNo, "session number out of range");
+      CurrentSession = static_cast<unsigned>(*N);
+      SawSession = true;
+      Txn.reset();
+      continue;
+    }
+    if (Head == "txn") {
+      if (!SawSession)
+        return Fail(LineNo, "txn outside a session");
+      Txn.emplace(
+          B.beginTxn(CurrentSession, Tokens.size() > 1 ? Tokens[1] : ""));
+      continue;
+    }
+
+    // Instruction lines.
+    if (!Txn)
+      return Fail(LineNo, "instruction outside a transaction");
+    std::string ExprError;
+    auto ParseGuard = [&](size_t &Pos) -> std::optional<ExprRef> {
+      // Optional trailing " if <expr>"; returns an empty ExprRef when
+      // absent, nullopt on parse failure.
+      if (Pos >= Tokens.size())
+        return ExprRef();
+      if (Tokens[Pos] != "if") {
+        ExprError = "trailing tokens after instruction";
+        return std::nullopt;
+      }
+      ++Pos;
+      return parseExpr(Tokens, Pos, *Txn, ExprError);
+    };
+    auto LookupVar = [&](const std::string &Name) -> std::optional<VarId> {
+      auto It = Vars.find(Name);
+      if (It == Vars.end())
+        return std::nullopt;
+      return It->second;
+    };
+
+    if (Head == "read") {
+      if (Tokens.size() < 3)
+        return Fail(LineNo, "read needs a local and a variable");
+      std::optional<VarId> Var = LookupVar(Tokens[2]);
+      if (!Var)
+        return Fail(LineNo, "unknown variable '" + Tokens[2] + "'");
+      size_t Pos = 3;
+      std::optional<ExprRef> Guard = ParseGuard(Pos);
+      if (!Guard)
+        return Fail(LineNo, ExprError);
+      Txn->read(Tokens[1], *Var, *Guard);
+    } else if (Head == "write") {
+      if (Tokens.size() < 3)
+        return Fail(LineNo, "write needs a variable and an expression");
+      std::optional<VarId> Var = LookupVar(Tokens[1]);
+      if (!Var)
+        return Fail(LineNo, "unknown variable '" + Tokens[1] + "'");
+      size_t Pos = 2;
+      std::optional<ExprRef> Rhs = parseExpr(Tokens, Pos, *Txn, ExprError);
+      if (!Rhs)
+        return Fail(LineNo, ExprError);
+      std::optional<ExprRef> Guard = ParseGuard(Pos);
+      if (!Guard)
+        return Fail(LineNo, ExprError);
+      Txn->write(*Var, *Rhs, *Guard);
+    } else if (Head == "assign") {
+      if (Tokens.size() < 3)
+        return Fail(LineNo, "assign needs a local and an expression");
+      size_t Pos = 2;
+      std::optional<ExprRef> Rhs = parseExpr(Tokens, Pos, *Txn, ExprError);
+      if (!Rhs)
+        return Fail(LineNo, ExprError);
+      std::optional<ExprRef> Guard = ParseGuard(Pos);
+      if (!Guard)
+        return Fail(LineNo, ExprError);
+      Txn->assign(Tokens[1], *Rhs, *Guard);
+    } else if (Head == "abort") {
+      size_t Pos = 1;
+      std::optional<ExprRef> Guard = ParseGuard(Pos);
+      if (!Guard)
+        return Fail(LineNo, ExprError);
+      Txn->abort(*Guard);
+    } else {
+      return Fail(LineNo, "unknown directive '" + Head + "'");
+    }
+  }
+  if (!SawVars)
+    return Fail(LineNo, "missing vars line");
+  return B.build();
+}
+
+//===----------------------------------------------------------------------===//
+// Repro files
+//===----------------------------------------------------------------------===//
+
+std::string txdpor::fuzz::writeRepro(const Repro &R) {
+  std::ostringstream OS;
+  OS << "# txdpor fuzz repro v1\n";
+  OS << "seed " << R.Seed << " case " << R.CaseIndex << '\n';
+  OS << "kind " << disagreementKindName(R.Kind) << '\n';
+  OS << "level " << isolationLevelName(R.Level) << '\n';
+  OS << "verdict production="
+     << (R.ProductionVerdict ? "consistent" : "inconsistent")
+     << " reference=" << (R.ReferenceVerdict ? "consistent" : "inconsistent")
+     << '\n';
+  if (!R.Detail.empty())
+    OS << "detail " << R.Detail << '\n';
+  if (!R.SessionLevels.empty()) {
+    OS << "mix";
+    for (IsolationLevel L : R.SessionLevels)
+      OS << ' ' << isolationLevelName(L);
+    OS << '\n';
+  }
+  if (R.Prog) {
+    OS << "program {\n" << writeProgramText(*R.Prog) << "}\n";
+  }
+  if (R.Hist) {
+    OS << "history {\n" << writeHistory(*R.Hist) << "}\n";
+  }
+  return OS.str();
+}
+
+std::optional<Repro> txdpor::fuzz::parseRepro(const std::string &Text,
+                                              std::string *Error) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<Repro> {
+    if (Error)
+      *Error = Msg;
+    return std::nullopt;
+  };
+  Repro R;
+  std::istringstream IS(Text);
+  std::string Line;
+  bool SawKind = false;
+  while (std::getline(IS, Line)) {
+    std::vector<std::string> Tokens = tokenize(Line);
+    if (Tokens.empty() || Tokens.front().front() == '#')
+      continue;
+    const std::string &Head = Tokens.front();
+    if (Head == "seed") {
+      std::optional<uint64_t> Seed =
+          Tokens.size() >= 2 ? parseUInt(Tokens[1]) : std::nullopt;
+      if (!Seed)
+        return Fail("seed needs a number");
+      R.Seed = *Seed;
+      if (Tokens.size() >= 4 && Tokens[2] == "case") {
+        std::optional<uint64_t> Case = parseUInt(Tokens[3]);
+        if (!Case)
+          return Fail("case needs a number");
+        R.CaseIndex = *Case;
+      }
+    } else if (Head == "kind") {
+      if (Tokens.size() < 2)
+        return Fail("kind needs a value");
+      std::optional<Disagreement::Kind> K = disagreementKindByName(Tokens[1]);
+      if (!K)
+        return Fail("unknown disagreement kind '" + Tokens[1] + "'");
+      R.Kind = *K;
+      SawKind = true;
+    } else if (Head == "level") {
+      if (Tokens.size() < 2)
+        return Fail("level needs a value");
+      bool Found = false;
+      for (IsolationLevel L : AllIsolationLevels)
+        if (Tokens[1] == isolationLevelName(L)) {
+          R.Level = L;
+          Found = true;
+        }
+      if (!Found)
+        return Fail("unknown isolation level '" + Tokens[1] + "'");
+    } else if (Head == "verdict") {
+      for (size_t I = 1; I != Tokens.size(); ++I) {
+        if (Tokens[I] == "production=consistent")
+          R.ProductionVerdict = true;
+        else if (Tokens[I] == "reference=consistent")
+          R.ReferenceVerdict = true;
+        else if (Tokens[I] != "production=inconsistent" &&
+                 Tokens[I] != "reference=inconsistent")
+          return Fail("unknown verdict token '" + Tokens[I] + "'");
+      }
+    } else if (Head == "mix") {
+      for (size_t I = 1; I != Tokens.size(); ++I) {
+        bool Found = false;
+        for (IsolationLevel L : AllIsolationLevels)
+          if (Tokens[I] == isolationLevelName(L)) {
+            R.SessionLevels.push_back(L);
+            Found = true;
+          }
+        if (!Found)
+          return Fail("unknown isolation level '" + Tokens[I] +
+                      "' in mix");
+      }
+    } else if (Head == "detail") {
+      // Everything after the directive word, whatever whitespace
+      // surrounds it (hand-edited files may be tab-indented).
+      size_t At = Line.find("detail");
+      At += 6;
+      while (At < Line.size() && (Line[At] == ' ' || Line[At] == '\t'))
+        ++At;
+      R.Detail = Line.substr(At);
+    } else if (Head == "program" || Head == "history") {
+      if (Tokens.size() < 2 || Tokens[1] != "{")
+        return Fail(Head + " section needs '{'");
+      std::string Body;
+      bool Closed = false;
+      while (std::getline(IS, Line)) {
+        if (Line == "}") {
+          Closed = true;
+          break;
+        }
+        Body += Line;
+        Body += '\n';
+      }
+      if (!Closed)
+        return Fail("unterminated " + Head + " section");
+      std::string InnerError;
+      if (Head == "program") {
+        R.Prog = parseProgramText(Body, &InnerError);
+        if (!R.Prog)
+          return Fail("bad program section: " + InnerError);
+      } else {
+        R.Hist = parseHistory(Body, &InnerError);
+        if (!R.Hist)
+          return Fail("bad history section: " + InnerError);
+      }
+    } else {
+      return Fail("unknown directive '" + Head + "'");
+    }
+  }
+  if (!SawKind)
+    return Fail("missing kind line");
+  return R;
+}

@@ -1,0 +1,91 @@
+//===- fuzz/Repro.h - Self-contained litmus repro files -------------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's counterexample format: a minimized disagreement as one
+/// self-contained, line-oriented text file that round-trips through
+/// parseRepro — so a repro pasted into a bug report can be re-checked
+/// without the generating seed. Layout (docs/TESTING.md documents the
+/// grammar):
+///
+///   # txdpor fuzz repro v1
+///   seed 42 case 17
+///   kind checker-verdict-mismatch
+///   level CC
+///   verdict production=consistent reference=inconsistent
+///   detail production says consistent, brute-force Def. 2.2 says ...
+///   program {
+///     vars x0 x1
+///     session 0
+///     txn
+///       read r0 x0
+///       write x1 (add (local r0) (const 1)) if (eq (local r0) (const 0))
+///   }
+///   history {
+///     txn 0.0 begin write x0 = 1 commit
+///   }
+///
+/// The history section uses history/Serialize.h's format; the program
+/// section is this module's textual program grammar (writeProgramText /
+/// parseProgramText). Either section may be absent: raw-history checker
+/// disagreements carry no program, whole-set explorer disagreements no
+/// single history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_FUZZ_REPRO_H
+#define TXDPOR_FUZZ_REPRO_H
+
+#include "fuzz/DifferentialOracle.h"
+#include "history/History.h"
+#include "program/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace txdpor {
+namespace fuzz {
+
+/// Serializes \p P to the litmus program grammar. Round-trips through
+/// parseProgramText (same sessions, transactions, instructions and
+/// expressions; local/variable names preserved).
+std::string writeProgramText(const Program &P);
+
+/// Parses the grammar produced by writeProgramText. Returns nullopt (with
+/// a diagnostic in \p Error if provided) on malformed input.
+std::optional<Program> parseProgramText(const std::string &Text,
+                                        std::string *Error = nullptr);
+
+/// One minimized counterexample plus its provenance.
+struct Repro {
+  uint64_t Seed = 0;
+  uint64_t CaseIndex = 0;
+  Disagreement::Kind Kind = Disagreement::Kind::CheckerVerdictMismatch;
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  bool ProductionVerdict = false;
+  bool ReferenceVerdict = false;
+  std::string Detail;
+  /// The case's per-session isolation-level mix ("mix" line), when the
+  /// generating shape sampled one: re-checking the program must use the
+  /// same narrowed sweep (DifferentialOracle::checkProgram's
+  /// SessionLevels) or the disagreement may not reproduce.
+  std::vector<IsolationLevel> SessionLevels;
+  std::optional<Program> Prog;
+  std::optional<History> Hist;
+};
+
+/// Serializes \p R to the self-contained litmus format above.
+std::string writeRepro(const Repro &R);
+
+/// Parses the format produced by writeRepro.
+std::optional<Repro> parseRepro(const std::string &Text,
+                                std::string *Error = nullptr);
+
+} // namespace fuzz
+} // namespace txdpor
+
+#endif // TXDPOR_FUZZ_REPRO_H

@@ -110,3 +110,82 @@ bool txdpor::isPrefixOf(const History &P, const History &H) {
   }
   return isDownwardClosed(H, Cut);
 }
+
+History txdpor::shrinkToCore(
+    const History &H,
+    const std::function<bool(const History &)> &StillFails) {
+  assert(StillFails(H) && "nothing to shrink: the predicate must hold");
+  History Current = H;
+
+  auto FullCut = [](const History &Of) {
+    PrefixCut Cut;
+    for (unsigned J = 0, E = Of.numTxns(); J != E; ++J)
+      Cut.push_back(static_cast<uint32_t>(Of.txn(J).size()));
+    return Cut;
+  };
+  auto CountOps = [](const History &Of) {
+    size_t Ops = 0;
+    for (unsigned J = 0, E = Of.numTxns(); J != E; ++J) {
+      const TransactionLog &Log = Of.txn(J);
+      for (uint32_t P = 0, PE = static_cast<uint32_t>(Log.size()); P != PE;
+           ++P)
+        if (Log.event(P).isRead() || Log.event(P).isWrite())
+          ++Ops;
+    }
+    return Ops;
+  };
+  /// Tries the downward closure of \p Cut; commits it into Current when
+  /// it removes something (for \p RequireOpRemoval, at least one read or
+  /// write — stripping only commit markers is not progress, it just
+  /// leaves pending transactions in the repro) and the predicate still
+  /// holds.
+  auto TryCut = [&](PrefixCut Cut, bool RequireOpRemoval) {
+    closeDownward(Current, Cut);
+    History Candidate = takePrefix(Current, Cut);
+    if (Candidate.numEvents() == Current.numEvents())
+      return false; // Nothing was actually removed.
+    if (RequireOpRemoval && CountOps(Candidate) == CountOps(Current))
+      return false;
+    if (!StillFails(Candidate))
+      return false; // The removed events are part of the core.
+    Current = std::move(Candidate);
+    return true;
+  };
+
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    // Pass 1: drop whole non-init transactions (latest blocks first: they
+    // have the fewest dependents). Dropping one transaction drags its
+    // readers and session successors along via downward closure.
+    for (unsigned I = Current.numTxns(); I-- > 1;) {
+      PrefixCut Cut = FullCut(Current);
+      Cut[I] = 0;
+      if (TryCut(std::move(Cut), /*RequireOpRemoval=*/false)) {
+        Shrunk = true;
+        break;
+      }
+    }
+    if (Shrunk)
+      continue;
+    // Pass 2: truncate event suffixes of surviving transactions (the cut
+    // leaves the transaction pending, which the axioms treat like a
+    // committed one, §2.2.1). Writers serving retained reads are
+    // re-completed by the closure, so only genuinely unused suffixes go.
+    for (unsigned I = Current.numTxns(); I-- > 1;) {
+      for (uint32_t Len =
+               static_cast<uint32_t>(Current.txn(I).size());
+           Len-- > 1;) {
+        PrefixCut Cut = FullCut(Current);
+        Cut[I] = Len;
+        if (TryCut(std::move(Cut), /*RequireOpRemoval=*/true)) {
+          Shrunk = true;
+          break;
+        }
+      }
+      if (Shrunk)
+        break;
+    }
+  }
+  return Current;
+}

@@ -19,6 +19,7 @@
 
 #include "history/History.h"
 
+#include <functional>
 #include <vector>
 
 namespace txdpor {
@@ -42,6 +43,18 @@ History takePrefix(const History &H, const PrefixCut &Cut);
 
 /// Returns true if \p P is a prefix of \p H in the sense of §3.1.
 bool isPrefixOf(const History &P, const History &H);
+
+/// Greedy delta debugging over a history: repeatedly (1) drops one
+/// non-initial transaction, or (2) truncates an event suffix carrying at
+/// least one read/write — in both cases dragging readers and session
+/// successors along via downward closure, so every candidate is a valid
+/// prefix — as long as \p StillFails holds on the shrunk candidate.
+/// \p StillFails must hold on \p H itself; the result is a locally-
+/// minimal history on which it still holds. Shared by
+/// consistency/Explain.h (minimizeViolation) and the fuzzer's
+/// counterexample minimizer (fuzz/Minimizer.h).
+History shrinkToCore(const History &H,
+                     const std::function<bool(const History &)> &StillFails);
 
 } // namespace txdpor
 

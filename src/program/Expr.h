@@ -65,6 +65,34 @@ public:
 
   ExprKind kind() const { return Kind; }
 
+  /// Structural accessors (each asserts the matching kind) — used by
+  /// program rewriters and the fuzz litmus serializer to walk the tree.
+  Value constVal() const {
+    assert(Kind == ExprKind::Const && "not a constant");
+    return ConstVal;
+  }
+  LocalId localId() const {
+    assert(Kind == ExprKind::Local && "not a local reference");
+    return Local;
+  }
+  UnaryOp unaryOp() const {
+    assert(Kind == ExprKind::Unary && "not a unary expression");
+    return UOp;
+  }
+  BinaryOp binaryOp() const {
+    assert(Kind == ExprKind::Binary && "not a binary expression");
+    return BOp;
+  }
+  /// Unary operand / binary left operand.
+  const NodeRef &lhs() const {
+    assert(Kind == ExprKind::Unary || Kind == ExprKind::Binary);
+    return Lhs;
+  }
+  const NodeRef &rhs() const {
+    assert(Kind == ExprKind::Binary && "not a binary expression");
+    return Rhs;
+  }
+
   /// Evaluates against a local-variable valuation. Booleans are 0/1.
   Value evaluate(const std::vector<Value> &Locals) const;
 

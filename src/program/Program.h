@@ -186,6 +186,21 @@ public:
       return *this;
     }
 
+    /// Interns local \p Name and returns its id (the id of the n-th
+    /// distinct name is n, in interning order).
+    LocalId internLocal(const std::string &Name) {
+      return Txn->internLocal(Name);
+    }
+    /// Appends a pre-built instruction verbatim. The instruction's
+    /// LocalIds must refer to locals already interned on this handle —
+    /// used by program rewriters (fuzz/Minimizer.h, fuzz/Repro.h) that
+    /// re-intern a transaction's locals in their original order before
+    /// copying its body.
+    TxnHandle &append(Instr I) {
+      Txn->append(std::move(I));
+      return *this;
+    }
+
   private:
     friend class ProgramBuilder;
     explicit TxnHandle(Transaction *Txn) : Txn(Txn) {}

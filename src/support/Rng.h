@@ -7,9 +7,19 @@
 ///
 /// \file
 /// A small deterministic RNG (SplitMix64) used to generate benchmark client
-/// programs and random histories/programs in property tests. We avoid
-/// std::mt19937 so that generated workloads are reproducible across
-/// standard-library implementations.
+/// programs, random histories/programs in property tests, and the fuzz
+/// corpus (src/fuzz/).
+///
+/// **Platform-determinism contract.** Fuzz seeds printed in failure logs
+/// must reproduce the exact same workload on any machine, so this header
+/// is pinned to (a) SplitMix64 — a fixed, implementation-defined-free bit
+/// mixer — and (b) hand-rolled bounded sampling (plain modulo in
+/// nextBelow). Neither std::mt19937 nor std::uniform_int_distribution may
+/// be used anywhere in the project: the distribution's algorithm is
+/// unspecified and differs between libstdc++ and libc++, which would make
+/// seeds non-portable. The golden-sequence test in tests/support_test.cpp
+/// locks the exact output values; if it ever fails, the change breaks
+/// every recorded fuzz seed and must be rethought.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +60,15 @@ public:
 
   /// Bernoulli draw: true with probability Num/Den.
   bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+  /// Derives an independent stream seed from (\p Base, \p Stream) — one
+  /// SplitMix64 step over their combination. Used by the fuzzer to give
+  /// every case its own deterministic substream, so case N reproduces
+  /// without replaying cases 0..N-1.
+  static uint64_t deriveSeed(uint64_t Base, uint64_t Stream) {
+    Rng R(Base ^ (Stream * 0x9e3779b97f4a7c15ULL));
+    return R.next();
+  }
 
 private:
   uint64_t State;

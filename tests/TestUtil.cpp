@@ -4,6 +4,16 @@
 // Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
 //
 //===----------------------------------------------------------------------===//
+//
+// The random generators moved to the fuzz subsystem
+// (src/fuzz/ProgramGenerator.h) so tests, benches and the differential
+// fuzzer share one implementation; these wrappers only translate the
+// legacy spec structs. The translation is draw-for-draw exact: every
+// fuzz-shape knob the legacy specs lack draws randomness only when
+// enabled, so seeded tests written against the old generators keep their
+// shapes (asserted by tests/fuzz_test.cpp).
+//
+//===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
 
@@ -12,98 +22,23 @@ using namespace txdpor::test;
 
 History txdpor::test::makeRandomHistory(Rng &R,
                                         const RandomHistorySpec &Spec) {
-  History H = History::makeInitial(Spec.NumVars);
-
-  // Interleave transaction creation across sessions in a random order so
-  // block order is not simply session-major.
-  std::vector<uint32_t> NextIndex(Spec.NumSessions, 0);
-  unsigned Remaining = Spec.NumSessions * Spec.TxnsPerSession;
-  Value NextValue = 1;
-
-  while (Remaining > 0) {
-    uint32_t S;
-    do {
-      S = static_cast<uint32_t>(R.nextBelow(Spec.NumSessions));
-    } while (NextIndex[S] >= Spec.TxnsPerSession);
-    unsigned Idx = H.beginTxn(uid(S, NextIndex[S]++));
-    --Remaining;
-
-    unsigned NumOps = 1 + static_cast<unsigned>(R.nextBelow(Spec.MaxOpsPerTxn));
-    for (unsigned Op = 0; Op != NumOps; ++Op) {
-      VarId X = static_cast<VarId>(R.nextBelow(Spec.NumVars));
-      if (R.chance(1, 2)) {
-        H.appendEvent(Idx, Event::makeWrite(X, NextValue++));
-        continue;
-      }
-      H.appendEvent(Idx, Event::makeRead(X));
-      uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
-      if (!H.txn(Idx).isExternalRead(Pos))
-        continue; // Read-local; no wr dependency.
-      // Pick any earlier committed writer of X (init always qualifies).
-      std::vector<unsigned> Writers;
-      for (unsigned W = 0; W != Idx; ++W)
-        if (H.txn(W).isCommitted() && H.txn(W).writesVar(X))
-          Writers.push_back(W);
-      assert(!Writers.empty() && "init always writes every variable");
-      unsigned W = Writers[R.nextBelow(Writers.size())];
-      H.setWriter(Idx, Pos, H.txn(W).uid());
-    }
-    if (R.chance(Spec.AbortPercent, 100))
-      H.appendEvent(Idx, Event::makeAbort());
-    else
-      H.appendEvent(Idx, Event::makeCommit());
-  }
-  H.checkWellFormed();
-  return H;
+  fuzz::HistoryShape Shape;
+  Shape.NumVars = Spec.NumVars;
+  Shape.NumSessions = Spec.NumSessions;
+  Shape.TxnsPerSession = Spec.TxnsPerSession;
+  Shape.MaxOpsPerTxn = Spec.MaxOpsPerTxn;
+  Shape.AbortPercent = Spec.AbortPercent;
+  return fuzz::generateHistory(R, Shape);
 }
 
 Program txdpor::test::makeRandomProgram(Rng &R,
                                         const RandomProgramSpec &Spec) {
-  ProgramBuilder B;
-  std::vector<VarId> Vars;
-  for (unsigned V = 0; V != Spec.NumVars; ++V)
-    Vars.push_back(B.var("x" + std::to_string(V)));
-
-  Value NextValue = 1;
-  for (unsigned S = 0; S != Spec.NumSessions; ++S) {
-    for (unsigned T = 0; T != Spec.TxnsPerSession; ++T) {
-      auto Txn = B.beginTxn(S);
-      unsigned NumOps =
-          1 + static_cast<unsigned>(R.nextBelow(Spec.MaxOpsPerTxn));
-      unsigned NumReads = 0;
-      for (unsigned Op = 0; Op != NumOps; ++Op) {
-        VarId X = Vars[R.nextBelow(Vars.size())];
-        switch (R.nextBelow(4)) {
-        case 0:
-          Txn.write(X, NextValue++);
-          break;
-        case 1: {
-          // Data-dependent write: propagate a read value.
-          if (NumReads == 0) {
-            Txn.write(X, NextValue++);
-            break;
-          }
-          std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
-          Txn.write(X, Txn.local(Src) + 1);
-          break;
-        }
-        case 2:
-          if (Spec.WithGuards && NumReads > 0) {
-            std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
-            Txn.write(X, NextValue++, eq(Txn.local(Src), 0));
-            break;
-          }
-          [[fallthrough]];
-        default:
-          Txn.read("r" + std::to_string(NumReads++), X);
-          break;
-        }
-      }
-      if (Spec.WithAborts && NumReads > 0 && R.chance(1, 5)) {
-        std::string Src = "r" + std::to_string(R.nextBelow(NumReads));
-        Txn.abort(eq(Txn.local(Src), 0));
-      }
-    }
-  }
-  return B.build();
+  fuzz::ProgramShape Shape;
+  Shape.NumVars = Spec.NumVars;
+  Shape.NumSessions = Spec.NumSessions;
+  Shape.TxnsPerSession = Spec.TxnsPerSession;
+  Shape.MaxOpsPerTxn = Spec.MaxOpsPerTxn;
+  Shape.WithGuards = Spec.WithGuards;
+  Shape.WithAborts = Spec.WithAborts;
+  return fuzz::generateProgram(R, Shape);
 }

@@ -7,15 +7,18 @@
 ///
 /// \file
 /// Test-only helpers: a fluent builder for hand-written litmus histories,
-/// a seeded random-history generator for cross-validating the consistency
-/// checkers, and a seeded random-program generator for explorer property
-/// tests.
+/// plus thin wrappers translating the legacy RandomHistorySpec /
+/// RandomProgramSpec structs onto the shared generator of the fuzz
+/// subsystem (src/fuzz/ProgramGenerator.h). The wrappers are
+/// draw-compatible: a seed produces the same history/program it did when
+/// the generators lived here.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TXDPOR_TESTS_TESTUTIL_H
 #define TXDPOR_TESTS_TESTUTIL_H
 
+#include "fuzz/ProgramGenerator.h"
 #include "history/History.h"
 #include "program/Program.h"
 #include "support/Rng.h"
@@ -95,6 +98,7 @@ struct RandomHistorySpec {
 /// a writer among the initial transaction and earlier-created writers of
 /// the variable, which keeps so ∪ wr acyclic by construction. Consistency
 /// against any given level is *not* guaranteed — that is the point.
+/// Thin wrapper over fuzz::generateHistory.
 History makeRandomHistory(Rng &R, const RandomHistorySpec &Spec);
 
 /// Shape of random programs for explorer property tests.
@@ -107,7 +111,8 @@ struct RandomProgramSpec {
   bool WithAborts = true;
 };
 
-/// Generates a small random transactional program.
+/// Generates a small random transactional program. Thin wrapper over
+/// fuzz::generateProgram.
 Program makeRandomProgram(Rng &R, const RandomProgramSpec &Spec);
 
 } // namespace test

@@ -19,12 +19,18 @@
 ///   txdpor-cli --app wikipedia --base RC --filter CC --budget-ms 5000
 ///   txdpor-cli --app tpcc --sessions 4 --txns 3 --threads 8
 ///
+/// The `fuzz` verb runs the differential fuzzer (src/fuzz/): seeded
+/// random programs/histories through redundant explorers and checkers,
+/// disagreements delta-debugged to litmus repro files:
+///   txdpor-cli fuzz --seed 7 --iters 5000 --shape sql --out repros/
+///
 //===----------------------------------------------------------------------===//
 
 #include "apps/Applications.h"
 #include "consistency/Explain.h"
 #include "core/Enumerate.h"
 #include "core/RandomWalk.h"
+#include "fuzz/Fuzzer.h"
 #include "history/Dot.h"
 #include "history/Serialize.h"
 #include "parallel/ParallelExplorer.h"
@@ -64,6 +70,8 @@ void printUsage() {
   std::cout <<
       "txdpor-cli: stateless model checking for transactional programs\n"
       "\n"
+      "  fuzz [...]          run the differential fuzzer; see\n"
+      "                      txdpor-cli fuzz --help\n"
       "  --app NAME          shoppingCart|twitter|courseware|wikipedia|tpcc\n"
       "  --sessions N        sessions in the client program (default 3)\n"
       "  --txns N            transactions per session (default 3)\n"
@@ -226,9 +234,140 @@ void writeDot(const std::string &File, const History &H,
   std::cout << "wrote " << File << '\n';
 }
 
+//===----------------------------------------------------------------------===//
+// The fuzz verb
+//===----------------------------------------------------------------------===//
+
+void printFuzzUsage() {
+  std::cout <<
+      "txdpor-cli fuzz: differential fuzzing of explorers and checkers\n"
+      "\n"
+      "  --seed N            base seed (default 1); every case K runs on\n"
+      "                      its own substream derived from (seed, K)\n"
+      "  --iters N           cases to run (default 1000)\n"
+      "  --time-budget MS    wall-clock cutoff in ms (default 0 = none)\n"
+      "  --shape NAME        tiny|default|wide|deep|sql|mixed\n"
+      "  --history-percent P share of raw-history cases (default 50)\n"
+      "  --no-minimize       report disagreements without delta debugging\n"
+      "  --out DIR           write minimized repros as litmus files here\n"
+      "  --max-findings N    stop after N disagreeing cases (default 16)\n"
+      "  --mutate NAME       TEST ONLY: weaken a checker axiom\n"
+      "                      (weak-cc|weak-ra) to validate the fuzzer\n"
+      "                      catches injected bugs\n"
+      "\n"
+      "exit status: 0 = no disagreements, 2 = disagreements found\n";
+}
+
+int fuzzMain(int Argc, char **Argv) {
+  fuzz::FuzzOptions Options;
+  Options.Log = &std::cout;
+  auto NeedValue = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::cerr << "error: " << Argv[I] << " needs a value\n";
+      return nullptr;
+    }
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    const char *Value = nullptr;
+    if (Arg == "--help" || Arg == "-h") {
+      printFuzzUsage();
+      return 0;
+    } else if (Arg == "--seed") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.Seed = static_cast<uint64_t>(std::atoll(Value));
+    } else if (Arg == "--iters") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.Iterations = static_cast<uint64_t>(std::atoll(Value));
+    } else if (Arg == "--time-budget") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.TimeBudgetMs = std::atoll(Value);
+    } else if (Arg == "--shape") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      if (!fuzz::programShapeByName(Value)) {
+        std::cerr << "error: unknown shape '" << Value << "'; one of:";
+        for (const std::string &Name : fuzz::programShapeNames())
+          std::cerr << ' ' << Name;
+        std::cerr << '\n';
+        return 1;
+      }
+      Options.ShapeName = Value;
+    } else if (Arg == "--history-percent") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.HistoryCasePercent = static_cast<unsigned>(std::atoi(Value));
+    } else if (Arg == "--no-minimize") {
+      Options.Minimize = false;
+    } else if (Arg == "--out") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.OutDir = Value;
+    } else if (Arg == "--max-findings") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      Options.MaxDisagreements = static_cast<uint64_t>(std::atoll(Value));
+    } else if (Arg == "--mutate") {
+      if (!(Value = NeedValue(I)))
+        return 1;
+      std::optional<fuzz::CheckerMutation> M =
+          fuzz::checkerMutationByName(Value);
+      if (!M) {
+        std::cerr << "error: unknown mutation '" << Value
+                  << "' (none|weak-cc|weak-ra)\n";
+        return 1;
+      }
+      Options.Mutation = *M;
+    } else {
+      std::cerr << "error: unknown fuzz option '" << Arg << "'\n";
+      printFuzzUsage();
+      return 1;
+    }
+  }
+
+  std::cout << "fuzz: seed " << Options.Seed << ", " << Options.Iterations
+            << " iterations, shape " << Options.ShapeName;
+  if (Options.Mutation != fuzz::CheckerMutation::None)
+    std::cout << ", MUTATION " << fuzz::checkerMutationName(Options.Mutation);
+  std::cout << '\n';
+
+  fuzz::FuzzReport Report = fuzz::runFuzz(Options);
+
+  std::cout << "fuzz: " << Report.Cases << " cases ("
+            << Report.ProgramCases << " programs, " << Report.HistoryCases
+            << " histories), " << Report.DisagreeingCases
+            << " disagreements, " << Report.ElapsedMillis << " ms"
+            << (Report.TimedOut ? " (timed out)" : "") << '\n';
+  for (const std::string &File : Report.ReproFiles)
+    std::cout << "repro: " << File << '\n';
+  if (Report.DisagreeingCases != 0) {
+    // Echo every reproduction-relevant flag: the printed command must
+    // replay the run verbatim, not a default-shaped approximation of it.
+    std::cout << "reproduce with: txdpor-cli fuzz --seed " << Options.Seed
+              << " --iters " << Options.Iterations << " --shape "
+              << Options.ShapeName << " --history-percent "
+              << Options.HistoryCasePercent << " --max-findings "
+              << Options.MaxDisagreements;
+    if (!Options.Minimize)
+      std::cout << " --no-minimize";
+    if (Options.Mutation != fuzz::CheckerMutation::None)
+      std::cout << " --mutate " << fuzz::checkerMutationName(Options.Mutation);
+    std::cout << '\n';
+    return 2;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "fuzz") == 0)
+    return fuzzMain(Argc - 1, Argv + 1);
+
   CliOptions Options;
   if (!parseArgs(Argc, Argv, Options))
     return 1;
