@@ -83,5 +83,32 @@ Program txdpor::makeClientProgram(AppKind App, const ClientSpec &Spec) {
     break;
   }
   }
-  return B.build();
+  Program P = B.build();
+  if (Spec.MixedLevels) {
+    // "RC readers, CC writers": a session that never writes a global
+    // variable can run at RC without losing any of the stronger
+    // sessions' guarantees; sessions that write keep MixedBase. Decided
+    // from the built program, so every app gets its mixed variant from
+    // the same transaction mix as its uniform client. The variant only
+    // ever *weakens* the readers: with a base already at or below RC the
+    // readers keep the base (tagging them RC would run them stronger
+    // than the writers, inverting the feature).
+    IsolationLevel Readers =
+        isWeakerOrEqual(Spec.MixedBase, IsolationLevel::ReadCommitted)
+            ? Spec.MixedBase
+            : IsolationLevel::ReadCommitted;
+    LevelAssignment Levels(Spec.MixedBase);
+    for (unsigned S = 0; S != P.numSessions(); ++S) {
+      bool Writes = false;
+      for (unsigned T = 0; T != P.numTxns(S) && !Writes; ++T)
+        for (const Instr &I : P.txn({S, T}).body())
+          if (I.Kind == InstrKind::Write) {
+            Writes = true;
+            break;
+          }
+      Levels.set(S, Writes ? Spec.MixedBase : Readers);
+    }
+    P.setLevels(std::move(Levels));
+  }
+  return P;
 }

@@ -46,6 +46,14 @@ struct ClientSpec {
   unsigned Sessions = 3;
   unsigned TxnsPerSession = 3;
   uint64_t Seed = 1;
+  /// Mixed-isolation variant of the workload (arXiv 2505.18409): tag each
+  /// read-only session ReadCommitted and every writing session MixedBase
+  /// — the classic "RC readers, CC writers" deployment (e.g. tpcc audit
+  /// scans at RC while order entry stays CC). The instruction sequence is
+  /// identical to the uniform client for the same seed; only
+  /// Program::levels() differs.
+  bool MixedLevels = false;
+  IsolationLevel MixedBase = IsolationLevel::CausalConsistency;
 };
 
 /// Generates a bounded client program of \p App: Spec.Sessions sessions,

@@ -7,6 +7,8 @@
 
 #include "consistency/Axioms.h"
 
+#include <optional>
+
 using namespace txdpor;
 
 namespace {
@@ -29,6 +31,61 @@ template <typename FnT> void forEachReadFrom(const History &H, FnT Fn) {
       Fn(*T1, T3, Pos, Log.event(Pos).Var);
     }
   }
+}
+
+/// One read's Read Committed axiom instances (Fig. A.1a), event-granular:
+/// for the external read at \p Pos of transaction \p T3 (variable \p X,
+/// writer \p T1), every t2 reached by wr ∘ po — i.e. read by an earlier
+/// read of the same transaction — that writes X must satisfy
+/// (t2, t1) ∈ co. Shared by the uniform readCommittedAxiom and the mixed
+/// evaluator's RC branch so the two can never drift.
+bool rcReadInstancesHold(const History &H, const Relation &Co, unsigned T1,
+                         unsigned T3, uint32_t Pos, VarId X) {
+  const TransactionLog &Log = H.txn(T3);
+  for (uint32_t Prev = 0; Prev != Pos; ++Prev) {
+    std::optional<TxnUid> W = Log.writerOf(Prev);
+    if (!W)
+      continue;
+    std::optional<unsigned> T2 = H.indexOf(*W);
+    assert(T2 && "wr writer missing from history");
+    if (*T2 == T1 || !H.txn(*T2).writesVar(X))
+      continue;
+    if (!Co.get(*T2, T1))
+      return false;
+  }
+  return true;
+}
+
+/// φ of the Conflict axiom (Fig. 2c), precomputed per pair (t2, t3):
+/// exists t4 and variable y with t3 writes y, t4 writes y, (t2,t4) ∈ co*,
+/// (t4,t3) ∈ co. Shared by the uniform conflictAxiom and the mixed
+/// evaluator so the two can never drift apart.
+Relation conflictPremise(const History &H, const Relation &Co) {
+  Relation CoStar = Co;
+  CoStar.addReflexive();
+  unsigned N = H.numTxns();
+  Relation Phi(N);
+  for (unsigned T3 = 0; T3 != N; ++T3) {
+    std::vector<VarId> T3Writes = H.txn(T3).writtenVars();
+    if (T3Writes.empty())
+      continue;
+    for (unsigned T4 = 0; T4 != N; ++T4) {
+      if (!Co.get(T4, T3))
+        continue;
+      bool SharesVar = false;
+      for (VarId Y : T3Writes)
+        if (H.txn(T4).writesVar(Y)) {
+          SharesVar = true;
+          break;
+        }
+      if (!SharesVar)
+        continue;
+      for (unsigned T2 = 0; T2 != N; ++T2)
+        if (CoStar.get(T2, T4))
+          Phi.set(T2, T3);
+    }
+  }
+  return Phi;
 }
 
 /// Evaluates the schema with a transaction-level φ: for every read
@@ -59,20 +116,8 @@ bool txdpor::readCommittedAxiom(const History &H, const Relation &Co) {
   // of the same transaction reads from t2.
   bool Ok = true;
   forEachReadFrom(H, [&](unsigned T1, unsigned T3, uint32_t Pos, VarId X) {
-    if (!Ok)
-      return;
-    const TransactionLog &Log = H.txn(T3);
-    for (uint32_t Prev = 0; Prev != Pos && Ok; ++Prev) {
-      std::optional<TxnUid> W = Log.writerOf(Prev);
-      if (!W)
-        continue;
-      std::optional<unsigned> T2 = H.indexOf(*W);
-      assert(T2 && "wr writer missing from history");
-      if (*T2 == T1 || !H.txn(*T2).writesVar(X))
-        continue;
-      if (!Co.get(*T2, T1))
-        Ok = false;
-    }
+    if (Ok && !rcReadInstancesHold(H, Co, T1, T3, Pos, X))
+      Ok = false;
   });
   return Ok;
 }
@@ -101,32 +146,7 @@ bool txdpor::prefixAxiom(const History &H, const Relation &Co) {
 }
 
 bool txdpor::conflictAxiom(const History &H, const Relation &Co) {
-  Relation CoStar = Co;
-  CoStar.addReflexive();
-  unsigned N = H.numTxns();
-  // Precompute, per transaction pair (t2, t3): exists t4 and variable y
-  // with t3 writes y, t4 writes y, (t2,t4) ∈ co*, (t4,t3) ∈ co.
-  Relation Phi(N);
-  for (unsigned T3 = 0; T3 != N; ++T3) {
-    std::vector<VarId> T3Writes = H.txn(T3).writtenVars();
-    if (T3Writes.empty())
-      continue;
-    for (unsigned T4 = 0; T4 != N; ++T4) {
-      if (!Co.get(T4, T3))
-        continue;
-      bool SharesVar = false;
-      for (VarId Y : T3Writes)
-        if (H.txn(T4).writesVar(Y)) {
-          SharesVar = true;
-          break;
-        }
-      if (!SharesVar)
-        continue;
-      for (unsigned T2 = 0; T2 != N; ++T2)
-        if (CoStar.get(T2, T4))
-          Phi.set(T2, T3);
-    }
-  }
+  Relation Phi = conflictPremise(H, Co);
   return schemaHolds(H, Co,
                      [&](unsigned T2, unsigned T3) { return Phi.get(T2, T3); });
 }
@@ -134,6 +154,101 @@ bool txdpor::conflictAxiom(const History &H, const Relation &Co) {
 bool txdpor::serializabilityAxiom(const History &H, const Relation &Co) {
   return schemaHolds(H, Co,
                      [&](unsigned T2, unsigned T3) { return Co.get(T2, T3); });
+}
+
+namespace {
+
+/// Lazily materialized premise relations shared by the per-read dispatch
+/// of the mixed evaluator: each is built at most once per (H, Co) even
+/// when several sessions run at the level that needs it.
+class MixedPremises {
+public:
+  MixedPremises(const History &H, const Relation &Co) : H(H), Co(Co) {}
+
+  const Relation &soWr() {
+    if (!SoWr)
+      SoWr = H.soWrRelation();
+    return *SoWr;
+  }
+  const Relation &causal() {
+    if (!Causal)
+      Causal = H.causalRelation();
+    return *Causal;
+  }
+  /// φ of the Prefix axiom (Fig. 2b): co* ∘ (wr ∪ so).
+  const Relation &prefixPhi() {
+    if (!PrefixPhi) {
+      Relation CoStar = Co;
+      CoStar.addReflexive();
+      PrefixPhi = CoStar.composeWith(soWr());
+    }
+    return *PrefixPhi;
+  }
+  /// φ of the Conflict axiom (Fig. 2c) — the shared conflictPremise.
+  const Relation &conflictPhi() {
+    if (!ConflictPhi)
+      ConflictPhi = conflictPremise(H, Co);
+    return *ConflictPhi;
+  }
+
+private:
+  const History &H;
+  const Relation &Co;
+  std::optional<Relation> SoWr;
+  std::optional<Relation> Causal;
+  std::optional<Relation> PrefixPhi;
+  std::optional<Relation> ConflictPhi;
+};
+
+} // namespace
+
+bool txdpor::axiomsHold(const History &H, const Relation &Co,
+                        const LevelAssignment &Levels) {
+  if (!Levels.isMixed())
+    return axiomsHold(H, Co, Levels.defaultLevel());
+
+  MixedPremises P(H, Co);
+  bool Ok = true;
+  forEachReadFrom(H, [&](unsigned T1, unsigned T3, uint32_t Pos, VarId X) {
+    if (!Ok)
+      return;
+    IsolationLevel Level = Levels.levelFor(H.txn(T3).uid().Session);
+    if (Level == IsolationLevel::Trivial)
+      return;
+
+    if (Level == IsolationLevel::ReadCommitted) {
+      // RC's premise is event-granular (Fig. A.1a) — the shared
+      // rcReadInstancesHold.
+      if (!rcReadInstancesHold(H, Co, T1, T3, Pos, X))
+        Ok = false;
+      return;
+    }
+
+    auto Premise = [&](unsigned T2) {
+      switch (Level) {
+      case IsolationLevel::ReadAtomic:
+        return P.soWr().get(T2, T3);
+      case IsolationLevel::CausalConsistency:
+        return P.causal().get(T2, T3);
+      case IsolationLevel::SnapshotIsolation:
+        // SI imposes both of its axioms on this read's instances.
+        return P.prefixPhi().get(T2, T3) || P.conflictPhi().get(T2, T3);
+      case IsolationLevel::Serializability:
+        return Co.get(T2, T3);
+      case IsolationLevel::Trivial:
+      case IsolationLevel::ReadCommitted:
+        break; // Handled above.
+      }
+      return false;
+    };
+    for (unsigned T2 = 0, E = H.numTxns(); T2 != E && Ok; ++T2) {
+      if (T2 == T1 || !H.txn(T2).writesVar(X))
+        continue;
+      if (Premise(T2) && !Co.get(T2, T1))
+        Ok = false;
+    }
+  });
+  return Ok;
 }
 
 bool txdpor::axiomsHold(const History &H, const Relation &Co,

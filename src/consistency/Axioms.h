@@ -29,6 +29,16 @@ namespace txdpor {
 /// function only checks the axioms). For Trivial the result is always true.
 bool axiomsHold(const History &H, const Relation &Co, IsolationLevel Level);
 
+/// Mixed-level variant (arXiv 2505.18409): every axiom-schema instance is
+/// attached to a read, and the premise φ used for that instance is the one
+/// of the *reading* transaction's session level under \p Levels. For a
+/// non-mixed assignment this is exactly axiomsHold(H, Co, default level);
+/// SI sessions require both of their axioms (Prefix and Conflict) on their
+/// reads. Like the uniform overload, \p Co must be a strict total order
+/// extending so ∪ wr.
+bool axiomsHold(const History &H, const Relation &Co,
+                const LevelAssignment &Levels);
+
 /// The Read Committed axiom (Fig. A.1a), which is event-granular:
 /// for every external read event α of x in t3 reading from t1, and every
 /// t2 ∉ {t1} with writes(t2) ∋ x and ⟨t2, α⟩ ∈ wr ∘ po:  (t2, t1) ∈ co.

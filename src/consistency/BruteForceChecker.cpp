@@ -19,8 +19,8 @@ namespace {
 /// stops early once one satisfies the axioms.
 class OrderEnumerator {
 public:
-  OrderEnumerator(const History &H, IsolationLevel Level)
-      : H(H), Level(Level), N(H.numTxns()), SoWr(H.soWrRelation()) {}
+  OrderEnumerator(const History &H, const LevelAssignment &Levels)
+      : H(H), Levels(Levels), N(H.numTxns()), SoWr(H.soWrRelation()) {}
 
   bool anyOrderSatisfies() {
     std::vector<bool> Placed(N, false);
@@ -35,7 +35,7 @@ private:
       for (unsigned I = 0; I != N; ++I)
         for (unsigned J = I + 1; J != N; ++J)
           Co.set(Sequence[I], Sequence[J]);
-      return axiomsHold(H, Co, Level);
+      return axiomsHold(H, Co, Levels);
     }
     for (unsigned T = 0; T != N; ++T) {
       if (Placed[T])
@@ -57,7 +57,7 @@ private:
   }
 
   const History &H;
-  IsolationLevel Level;
+  const LevelAssignment &Levels;
   unsigned N;
   Relation SoWr;
   std::vector<unsigned> Sequence;
@@ -67,12 +67,13 @@ private:
 
 bool BruteForceChecker::isConsistent(const History &H) const {
   H.checkWellFormed();
-  if (Level == IsolationLevel::Trivial)
+  if (!Levels.isMixed() &&
+      Levels.defaultLevel() == IsolationLevel::Trivial)
     return true;
   // Def. 2.1 already requires so ∪ wr acyclic; an inconsistent input graph
   // has no commit order at all.
   if (!H.soWrRelation().isAcyclic())
     return false;
-  OrderEnumerator Enumerator(H, Level);
+  OrderEnumerator Enumerator(H, Levels);
   return Enumerator.anyOrderSatisfies();
 }

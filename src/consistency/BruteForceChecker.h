@@ -23,13 +23,24 @@ namespace txdpor {
 
 class BruteForceChecker : public ConsistencyChecker {
 public:
-  explicit BruteForceChecker(IsolationLevel Level) : Level(Level) {}
+  explicit BruteForceChecker(IsolationLevel Level)
+      : Levels(LevelAssignment::uniform(Level)) {}
 
-  IsolationLevel level() const override { return Level; }
+  /// Mixed-level reference (arXiv 2505.18409): each enumerated commit
+  /// order is checked against every transaction's commit test at its own
+  /// session's level — the Def. 2.2 analogue for per-session assignments,
+  /// and the oracle the mixed production checkers are validated against.
+  explicit BruteForceChecker(LevelAssignment Levels)
+      : Levels(std::move(Levels)) {}
+
+  /// The strongest level the assignment mentions (the level itself for a
+  /// uniform assignment).
+  IsolationLevel level() const override { return Levels.strongest(); }
+  const LevelAssignment &levels() const { return Levels; }
   bool isConsistent(const History &H) const override;
 
 private:
-  IsolationLevel Level;
+  LevelAssignment Levels;
 };
 
 } // namespace txdpor

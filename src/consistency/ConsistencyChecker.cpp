@@ -7,6 +7,7 @@
 
 #include "consistency/ConsistencyChecker.h"
 
+#include "consistency/BruteForceChecker.h"
 #include "consistency/SaturationChecker.h"
 #include "consistency/SerializabilityChecker.h"
 #include "consistency/SnapshotIsolationChecker.h"
@@ -57,6 +58,24 @@ txdpor::makeChecker(IsolationLevel Level) {
     return std::make_unique<SerializabilityChecker>();
   }
   return nullptr;
+}
+
+std::unique_ptr<ConsistencyChecker>
+txdpor::makeChecker(const LevelAssignment &Levels) {
+  if (!Levels.isMixed())
+    return makeChecker(Levels.defaultLevel());
+  if (Levels.allPrefixClosedCausallyExtensible())
+    return std::make_unique<MixedSaturationChecker>(Levels);
+  // No polynomial procedure exists for mixes naming SI or SER; fall back
+  // to the (exponential) per-transaction Def. 2.2 reference rather than
+  // silently deciding those sessions with the wrong premise.
+  return std::make_unique<BruteForceChecker>(Levels);
+}
+
+bool txdpor::isConsistent(const History &H, const LevelAssignment &Levels) {
+  if (!Levels.isMixed())
+    return isConsistent(H, Levels.defaultLevel());
+  return makeChecker(Levels)->isConsistent(H);
 }
 
 const ConsistencyChecker &txdpor::checkerFor(IsolationLevel Level) {

@@ -60,6 +60,17 @@ inline bool isConsistent(const History &H, IsolationLevel Level) {
 /// production and reference implementations explicitly).
 std::unique_ptr<ConsistencyChecker> makeChecker(IsolationLevel Level);
 
+/// Creates the checker for a per-session level assignment: the
+/// single-level checker when \p Levels is not mixed, a
+/// MixedSaturationChecker for mixes within the saturable chain
+/// true/RC/RA/CC. A mixed assignment naming SI or SER has no polynomial
+/// decision procedure; it gets the (exponential) BruteForceChecker so
+/// the verdict stays correct rather than silently wrong.
+std::unique_ptr<ConsistencyChecker> makeChecker(const LevelAssignment &Levels);
+
+/// Convenience wrapper: checks \p H against the per-session assignment.
+bool isConsistent(const History &H, const LevelAssignment &Levels);
+
 } // namespace txdpor
 
 #endif // TXDPOR_CONSISTENCY_CONSISTENCYCHECKER_H

@@ -23,7 +23,10 @@
 #define TXDPOR_CONSISTENCY_ISOLATIONLEVEL_H
 
 #include <array>
+#include <cassert>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace txdpor {
 
@@ -44,7 +47,8 @@ inline constexpr std::array<IsolationLevel, 6> AllIsolationLevels = {
 };
 
 /// Short name used in output tables ("true", "RC", "RA", "CC", "SI",
-/// "SER").
+/// "SER"). The inverse lookup and the "S<N>=<LEVEL>" entry grammar live
+/// in consistency/LevelParse.h, next to their CLI/litmus consumers.
 const char *isolationLevelName(IsolationLevel Level);
 
 /// True if \p Weaker admits every \p Stronger-consistent history
@@ -68,6 +72,159 @@ inline bool isPrefixClosedCausallyExtensible(IsolationLevel Level) {
   }
   return false;
 }
+
+/// A per-session isolation-level assignment: the mixed-isolation-level
+/// setting of Bouajjani et al.'s follow-up ("On the Complexity of Checking
+/// Mixed Isolation Levels for SQL Transactions", arXiv 2505.18409, see
+/// PAPERS.md). The paper's explore-ce(I0) fixes one base level I0 for the
+/// whole program; real stores let every session pick its own level, so an
+/// assignment maps each session to a level, with a uniform default for
+/// sessions it does not name explicitly.
+///
+/// A transaction's commit test is evaluated at *its own session's* level:
+/// every instance of the axiom schema (§2.2.2, eq. 1) is attached to a
+/// read, and the premise φ used for that instance is the one of the
+/// *reading* transaction's level. Mixes of prefix-closed causally-
+/// extensible levels (true/RC/RA/CC) are themselves prefix-closed and
+/// causally extensible — the Theorems 3.2/3.4 arguments are per axiom
+/// instance — so explore-ce keeps Theorem 5.1 for such mixes (see
+/// docs/ARCHITECTURE.md, "Per-session isolation levels").
+class LevelAssignment {
+public:
+  LevelAssignment() = default;
+  explicit LevelAssignment(IsolationLevel Default) : Default(Default) {}
+
+  /// The classic single-level setting: every session at \p Level.
+  static LevelAssignment uniform(IsolationLevel Level) {
+    return LevelAssignment(Level);
+  }
+
+  /// The level of sessions without an explicit entry.
+  IsolationLevel defaultLevel() const { return Default; }
+  void setDefault(IsolationLevel Level) { Default = Level; }
+
+  /// Pins \p Session to \p Level (sessions are dense; pinning session N
+  /// materializes defaults for 0..N-1).
+  void set(unsigned Session, IsolationLevel Level) {
+    if (Session >= Explicit.size())
+      Explicit.resize(Session + 1, NoLevel);
+    Explicit[Session] = static_cast<uint8_t>(Level);
+  }
+
+  /// The level session \p Session runs at. Sessions beyond the explicit
+  /// entries — including TxnUid::InitSession, whose initial transaction
+  /// has no reads and therefore no commit test of its own — get the
+  /// default.
+  IsolationLevel levelFor(uint32_t Session) const {
+    if (Session < Explicit.size() && Explicit[Session] != NoLevel)
+      return static_cast<IsolationLevel>(Explicit[Session]);
+    return Default;
+  }
+
+  /// True if any session is pinned explicitly (even to the default level).
+  bool hasExplicit() const { return !Explicit.empty(); }
+
+  /// True if some explicit entry differs from the default, i.e. the
+  /// assignment is not expressible as a single uniform level.
+  bool isMixed() const {
+    for (uint8_t L : Explicit)
+      if (L != NoLevel && static_cast<IsolationLevel>(L) != Default)
+        return true;
+    return false;
+  }
+
+  /// Normalizes against a concrete program width: entries at or beyond
+  /// \p NumSessions are dropped, and an assignment whose first
+  /// \p NumSessions levels coincide collapses to uniform(that level).
+  /// The engine resolves its config through this, so "--levels S0=RC
+  /// S1=RC" on a two-session program takes the exact single-level code
+  /// path of "--base RC" (byte-identical outputs, no mixed-checker
+  /// indirection).
+  LevelAssignment resolved(unsigned NumSessions) const {
+    LevelAssignment Result(Default);
+    if (NumSessions == 0)
+      return Result;
+    bool Uniform = true;
+    IsolationLevel First = levelFor(0);
+    for (unsigned S = 0; S != NumSessions; ++S)
+      if (levelFor(S) != First) {
+        Uniform = false;
+        break;
+      }
+    if (Uniform)
+      return LevelAssignment(First);
+    for (unsigned S = 0; S != NumSessions; ++S)
+      Result.set(S, levelFor(S));
+    return Result;
+  }
+
+  /// Strongest level the assignment mentions (default included).
+  IsolationLevel strongest() const {
+    IsolationLevel Max = Default;
+    for (uint8_t L : Explicit)
+      if (L != NoLevel && isWeakerOrEqual(Max, static_cast<IsolationLevel>(L)))
+        Max = static_cast<IsolationLevel>(L);
+    return Max;
+  }
+
+  /// True iff every mentioned level is prefix-closed and causally
+  /// extensible — the requirement for a base assignment (§5).
+  bool allPrefixClosedCausallyExtensible() const {
+    if (!isPrefixClosedCausallyExtensible(Default))
+      return false;
+    for (uint8_t L : Explicit)
+      if (L != NoLevel &&
+          !isPrefixClosedCausallyExtensible(static_cast<IsolationLevel>(L)))
+        return false;
+    return true;
+  }
+
+  /// True iff every mentioned level is weaker than or equal to \p Level
+  /// (the per-session generalization of the Cor. 6.2 side condition on a
+  /// filter level).
+  bool allWeakerOrEqual(IsolationLevel Level) const {
+    if (!isWeakerOrEqual(Default, Level))
+      return false;
+    for (uint8_t L : Explicit)
+      if (L != NoLevel &&
+          !isWeakerOrEqual(static_cast<IsolationLevel>(L), Level))
+        return false;
+    return true;
+  }
+
+  /// "CC" for a plain assignment; "CC S0=CC S1=RC" when sessions are
+  /// pinned (default first, then the explicit entries) — the same spelling
+  /// the litmus `level` line and `--levels` use.
+  std::string str() const {
+    std::string Result = isolationLevelName(Default);
+    for (unsigned S = 0; S != Explicit.size(); ++S)
+      if (Explicit[S] != NoLevel) {
+        Result += " S" + std::to_string(S) + "=";
+        Result += isolationLevelName(static_cast<IsolationLevel>(Explicit[S]));
+      }
+    return Result;
+  }
+
+  bool operator==(const LevelAssignment &O) const {
+    if (Default != O.Default)
+      return false;
+    size_t N = Explicit.size() > O.Explicit.size() ? Explicit.size()
+                                                   : O.Explicit.size();
+    for (size_t S = 0; S != N; ++S)
+      if (levelFor(static_cast<uint32_t>(S)) !=
+          O.levelFor(static_cast<uint32_t>(S)))
+        return false;
+    return true;
+  }
+  bool operator!=(const LevelAssignment &O) const { return !(*this == O); }
+
+private:
+  static constexpr uint8_t NoLevel = 0xff;
+
+  IsolationLevel Default = IsolationLevel::CausalConsistency;
+  /// Explicit per-session levels, NoLevel = inherit the default.
+  std::vector<uint8_t> Explicit;
+};
 
 } // namespace txdpor
 

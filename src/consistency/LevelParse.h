@@ -1,0 +1,59 @@
+//===- consistency/LevelParse.h - Isolation-level text parsing ------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing text grammar for isolation levels and per-session
+/// assignments, shared by the CLI (`--base`, `--levels`) and the litmus
+/// repro grammar (the `level` line, `session N @CC`). Kept out of
+/// IsolationLevel.h so the core level/LevelAssignment header stays free
+/// of parsing machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_LEVELPARSE_H
+#define TXDPOR_CONSISTENCY_LEVELPARSE_H
+
+#include "consistency/IsolationLevel.h"
+#include "support/Parse.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace txdpor {
+
+/// Inverse of isolationLevelName — the one name→level lookup shared by
+/// every text surface.
+inline std::optional<IsolationLevel>
+isolationLevelByName(const std::string &Name) {
+  for (IsolationLevel Level : AllIsolationLevels)
+    if (Name == isolationLevelName(Level))
+      return Level;
+  return std::nullopt;
+}
+
+/// Parses one "S<N>=<LEVEL>" session-level entry (the spelling shared by
+/// the litmus `level` line and the CLI's --levels spec). Session numbers
+/// are bounded (4096) so hand-edited input yields a diagnostic, not a
+/// huge allocation.
+inline std::optional<std::pair<unsigned, IsolationLevel>>
+parseSessionLevel(const std::string &Tok) {
+  size_t Eq = Tok.find('=');
+  if (Tok.size() < 2 || Tok.front() != 'S' || Eq == std::string::npos)
+    return std::nullopt;
+  std::optional<unsigned> Session =
+      parseBoundedUInt(Tok.substr(1, Eq - 1), /*Max=*/4096);
+  std::optional<IsolationLevel> Level =
+      isolationLevelByName(Tok.substr(Eq + 1));
+  if (!Session || !Level)
+    return std::nullopt;
+  return std::make_pair(*Session, *Level);
+}
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_LEVELPARSE_H

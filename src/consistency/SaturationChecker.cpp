@@ -7,21 +7,37 @@
 
 #include "consistency/SaturationChecker.h"
 
+#include <optional>
+
 using namespace txdpor;
 
-Relation SaturationChecker::constraintGraph(const History &H) const {
-  unsigned N = H.numTxns();
-  Relation Constraints = H.soWrRelation();
+namespace {
 
-  // φ for RA / CC; unused for RC.
-  Relation Phi(N);
-  if (Level == IsolationLevel::ReadAtomic)
-    Phi = H.soWrRelation();
-  else if (Level == IsolationLevel::CausalConsistency)
-    Phi = H.causalRelation();
+/// The forced-edge loop shared by the uniform and the mixed checker
+/// (one implementation so the two can never drift): for each external
+/// read, add the edges its reading transaction's level forces.
+/// \p LevelFor maps a session id to its level — a constant for the
+/// uniform checker. The base so ∪ wr relation is seeded into the result
+/// once and reused as the RA premise without recomputation.
+template <typename LevelFnT>
+Relation forcedConstraintGraph(const History &H, LevelFnT LevelFor) {
+  unsigned N = H.numTxns();
+  Relation SoWr = H.soWrRelation();
+  Relation Constraints = SoWr;
+
+  // The CC premise, materialized only when some session runs at CC.
+  std::optional<Relation> Causal;
+  auto GetCausal = [&]() -> const Relation & {
+    if (!Causal)
+      Causal = H.causalRelation();
+    return *Causal;
+  };
 
   for (unsigned T3 = 0; T3 != N; ++T3) {
     const TransactionLog &Log = H.txn(T3);
+    IsolationLevel Level = LevelFor(Log.uid().Session);
+    if (Level == IsolationLevel::Trivial)
+      continue;
     for (uint32_t Pos = 0, PE = static_cast<uint32_t>(Log.size()); Pos != PE;
          ++Pos) {
       std::optional<TxnUid> W = Log.writerOf(Pos);
@@ -44,6 +60,10 @@ Relation SaturationChecker::constraintGraph(const History &H) const {
         continue;
       }
 
+      // Transaction-level premise: so ∪ wr for RA, its transitive
+      // closure for CC.
+      const Relation &Phi =
+          Level == IsolationLevel::ReadAtomic ? SoWr : GetCausal();
       for (unsigned T2 = 0; T2 != N; ++T2)
         if (T2 != T1 && Phi.get(T2, T3) && H.txn(T2).writesVar(X))
           Constraints.set(T2, T1);
@@ -52,6 +72,21 @@ Relation SaturationChecker::constraintGraph(const History &H) const {
   return Constraints;
 }
 
+} // namespace
+
+Relation SaturationChecker::constraintGraph(const History &H) const {
+  return forcedConstraintGraph(H, [this](uint32_t) { return Level; });
+}
+
 bool SaturationChecker::isConsistent(const History &H) const {
+  return constraintGraph(H).isAcyclic();
+}
+
+Relation MixedSaturationChecker::constraintGraph(const History &H) const {
+  return forcedConstraintGraph(
+      H, [this](uint32_t Session) { return Levels.levelFor(Session); });
+}
+
+bool MixedSaturationChecker::isConsistent(const History &H) const {
   return constraintGraph(H).isAcyclic();
 }

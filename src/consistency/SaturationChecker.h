@@ -21,6 +21,13 @@
 ///
 ///   h |= I  ⟺  so ∪ wr ∪ forced(I) is acyclic.
 ///
+/// The argument is per axiom *instance* — an instance is attached to one
+/// read, and forces the edge (t2, t1) regardless of the other instances —
+/// so it survives mixing levels per session (MixedSaturationChecker): with
+/// each read's premise taken from its reading session's level, the forced
+/// edge set is the union of the per-read forced edges, and the same
+/// equivalence holds for the mixed commit test of arXiv 2505.18409.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TXDPOR_CONSISTENCY_SATURATIONCHECKER_H
@@ -50,6 +57,34 @@ public:
 
 private:
   IsolationLevel Level;
+};
+
+/// Polynomial checker for per-session mixes of the saturable levels: every
+/// read contributes the forced edges of its reading session's level
+/// (Trivial sessions contribute none), and the history satisfies the
+/// assignment iff so ∪ wr ∪ forced(assignment) is acyclic. This is the
+/// production decision procedure behind explore-ce with a mixed base
+/// assignment; validated against BruteForceChecker(LevelAssignment) by the
+/// differential oracle and the mixed-level test suite.
+class MixedSaturationChecker : public ConsistencyChecker {
+public:
+  explicit MixedSaturationChecker(LevelAssignment Levels)
+      : Levels(std::move(Levels)) {
+    assert(this->Levels.allPrefixClosedCausallyExtensible() &&
+           "saturation mixes true, RC, RA and CC only");
+  }
+
+  /// The strongest level of the assignment (the checker interface exposes
+  /// one level; per-session detail is in levels()).
+  IsolationLevel level() const override { return Levels.strongest(); }
+  const LevelAssignment &levels() const { return Levels; }
+  bool isConsistent(const History &H) const override;
+
+  /// so ∪ wr plus the per-read forced edges of the assignment.
+  Relation constraintGraph(const History &H) const;
+
+private:
+  LevelAssignment Levels;
 };
 
 } // namespace txdpor

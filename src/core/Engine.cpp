@@ -7,18 +7,42 @@
 
 #include "core/Engine.h"
 
+#include "consistency/SaturationChecker.h"
+
 using namespace txdpor;
+
+namespace {
+
+/// ExplorerConfig::BaseLevels resolution order: an explicit config
+/// assignment wins, then a program-declared one, then the classic uniform
+/// BaseLevel. Normalized against the program's session count so an
+/// assignment whose sessions all agree takes the single-level path.
+LevelAssignment resolveBaseLevels(const ExplorerConfig &Config,
+                                  const Program &Prog) {
+  if (Config.BaseLevels.hasExplicit())
+    return Config.BaseLevels.resolved(Prog.numSessions());
+  if (Prog.levels().hasExplicit())
+    return Prog.levels().resolved(Prog.numSessions());
+  return LevelAssignment::uniform(Config.BaseLevel);
+}
+
+} // namespace
 
 ExplorationEngine::ExplorationEngine(const Program &Prog,
                                      ExplorerConfig Config)
     : Prog(Prog), Config(std::move(Config)),
-      Base(checkerFor(this->Config.BaseLevel)) {
-  assert(isPrefixClosedCausallyExtensible(this->Config.BaseLevel) &&
-         "BaseLevel must be prefix-closed and causally extensible (§5)");
+      BaseLevels(resolveBaseLevels(this->Config, Prog)),
+      OwnedBase(BaseLevels.isMixed()
+                    ? std::make_unique<MixedSaturationChecker>(BaseLevels)
+                    : nullptr),
+      Base(OwnedBase ? *OwnedBase : checkerFor(BaseLevels.defaultLevel())) {
+  assert(BaseLevels.allPrefixClosedCausallyExtensible() &&
+         "every session's base level must be prefix-closed and causally "
+         "extensible (§5; mixes of such levels keep both properties)");
   if (this->Config.FilterLevel) {
-    assert(isWeakerOrEqual(this->Config.BaseLevel,
-                           *this->Config.FilterLevel) &&
-           "BaseLevel must be weaker than the filter level (Cor. 6.2)");
+    assert(BaseLevels.allWeakerOrEqual(*this->Config.FilterLevel) &&
+           "every base level must be weaker than the filter level "
+           "(Cor. 6.2, per session)");
     Filter = &checkerFor(*this->Config.FilterLevel);
   }
   if (this->Config.OracleOrderOverride.empty()) {
@@ -150,7 +174,9 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
   switch (Next.Op.Kind) {
   case DbOp::Kind::Read: {
     // Branch over ValidWrites (§5.1): committed writers of the variable
-    // whose wr choice keeps the history BaseLevel-consistent.
+    // whose wr choice keeps the history base-consistent. Under a mixed
+    // assignment the new read's axiom instances use the *reading
+    // session's* level, so weaker sessions admit more writers.
     H.appendEvent(Idx, Event::makeRead(Next.Op.Var));
     ++S.Stats.EventsAdded;
     uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;

@@ -41,6 +41,7 @@
 #include "semantics/Executor.h"
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 namespace txdpor {
@@ -115,6 +116,10 @@ public:
   const ExplorerConfig &config() const { return Config; }
   /// The program under exploration (not owned; must outlive the engine).
   const Program &program() const { return Prog; }
+  /// The per-session base assignment this run resolved to (see
+  /// ExplorerConfig::BaseLevels for the resolution order). Not mixed for
+  /// classic single-level runs.
+  const LevelAssignment &baseLevels() const { return BaseLevels; }
 
 private:
   /// What Next(P, h, locals) returned (§5.1).
@@ -131,6 +136,13 @@ private:
 
   const Program &Prog;
   ExplorerConfig Config;
+  /// Resolved per-session base levels (config > program > uniform
+  /// BaseLevel; collapsed to uniform when every session agrees).
+  LevelAssignment BaseLevels;
+  /// Owns the mixed base checker when BaseLevels is mixed; the classic
+  /// path keeps borrowing the per-level singleton through Base, so
+  /// uniform runs pay nothing for the indirection.
+  std::unique_ptr<ConsistencyChecker> OwnedBase;
   const ConsistencyChecker &Base;
   const ConsistencyChecker *Filter = nullptr;
   std::vector<TxnUid> OracleSequence; ///< Start order used by Next.

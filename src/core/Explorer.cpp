@@ -14,7 +14,16 @@
 using namespace txdpor;
 
 std::string ExplorerConfig::algorithmName() const {
-  std::string Name = isolationLevelName(BaseLevel);
+  // An assignment whose explicit entries all equal its default is the
+  // classic uniform algorithm (the engine collapses it) — report it as
+  // such; only genuinely mixed assignments get the mix(...) spelling.
+  // For a non-mixed explicit assignment every entry equals its default.
+  std::string Name =
+      BaseLevels.isMixed()
+          ? "mix(" + BaseLevels.str() + ")"
+          : std::string(isolationLevelName(
+                BaseLevels.hasExplicit() ? BaseLevels.defaultLevel()
+                                         : BaseLevel));
   if (FilterLevel)
     Name += std::string(" + ") + isolationLevelName(*FilterLevel);
   return Name;

@@ -12,6 +12,8 @@
 ///
 ///   * explore-ce(I0)          — BaseLevel = I0, no FilterLevel (§5);
 ///   * explore-ce*(I0, I)      — BaseLevel = I0, FilterLevel = I (§6);
+///   * explore-ce(assignment)  — BaseLevels pins sessions to their own
+///     base levels (mixed-isolation semantics, arXiv 2505.18409);
 ///
 /// plus ablation knobs that disable the individual §5.3 optimality
 /// mechanisms (used by bench_ablation to quantify what each buys).
@@ -36,6 +38,22 @@ struct ExplorerConfig {
   /// I0: the prefix-closed, causally-extensible level driving ValidWrites
   /// and the swap machinery. Must be one of true / RC / RA / CC (§5, §6).
   IsolationLevel BaseLevel = IsolationLevel::CausalConsistency;
+
+  /// Per-session base levels. ValidWrites and the swap machinery judge
+  /// every consistency question at the *reading session's* level, so a
+  /// mixed assignment opens exactly the extra wr choices its weaker
+  /// sessions admit. Every named level must be prefix-closed and causally
+  /// extensible (true/RC/RA/CC, asserted like BaseLevel) — such mixes
+  /// keep Theorem 5.1 (docs/ARCHITECTURE.md, "Per-session isolation
+  /// levels").
+  ///
+  /// Resolution against the program (ExplorationEngine): an assignment
+  /// with explicit entries here wins; otherwise a program-declared
+  /// assignment (Program::levels) wins; otherwise every session runs at
+  /// BaseLevel. A resolved assignment whose sessions all agree collapses
+  /// to the classic single-level path, so uniform runs are bit-identical
+  /// to pre-assignment builds.
+  LevelAssignment BaseLevels;
 
   /// I: the level of the final Valid filter (§6). Unset means
   /// Valid(h) = true, i.e. plain explore-ce(BaseLevel).
@@ -109,6 +127,13 @@ struct ExplorerConfig {
     ExplorerConfig C;
     C.BaseLevel = Base;
     C.FilterLevel = Filter;
+    return C;
+  }
+  /// explore-ce with a per-session base assignment.
+  static ExplorerConfig exploreCEMixed(LevelAssignment Levels) {
+    ExplorerConfig C;
+    C.BaseLevel = Levels.defaultLevel();
+    C.BaseLevels = std::move(Levels);
     return C;
   }
 };

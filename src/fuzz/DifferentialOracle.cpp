@@ -184,9 +184,161 @@ std::vector<Disagreement> DifferentialOracle::checkHistory(
   return Out;
 }
 
+void DifferentialOracle::checkMixedSemantics(
+    const Program &P, const std::vector<IsolationLevel> &SessionLevels,
+    std::vector<Disagreement> &Out) const {
+  // Clamp the sampled mix to the causally-extensible chain (identically
+  // for every leg below): SI/SER cannot drive ValidWrites, so such
+  // sessions explore — and are verdict-checked — at CC.
+  LevelAssignment Mix(IsolationLevel::CausalConsistency);
+  for (unsigned S = 0; S != SessionLevels.size(); ++S) {
+    IsolationLevel L = SessionLevels[S];
+    if (!isPrefixClosedCausallyExtensible(L))
+      L = IsolationLevel::CausalConsistency;
+    Mix.set(S, L);
+  }
+  LevelAssignment Resolved = Mix.resolved(P.numSessions());
+  if (!Resolved.isMixed())
+    return; // Collapses to a uniform base; the classic legs cover it.
+
+  auto MakeDisagreement = [&](Disagreement::Kind K, std::string Detail) {
+    Disagreement D;
+    D.K = K;
+    D.Level = Resolved.strongest();
+    D.MixLevels = SessionLevels;
+    D.Detail = std::move(Detail);
+    return D;
+  };
+
+  ExplorerConfig Recursive = ExplorerConfig::exploreCEMixed(Mix);
+  if (Config.MaxHistoriesPerCase)
+    Recursive.MaxEndStates = Config.MaxHistoriesPerCase + 1;
+  EnumerationResult Ref = enumerateHistories(P, Recursive);
+  if (Config.MaxHistoriesPerCase &&
+      (Ref.Stats.HitEndStateCap ||
+       Ref.Histories.size() > Config.MaxHistoriesPerCase))
+    return; // Too large to diff affordably.
+  auto RefKeys = keyMultiset(Ref.Histories);
+
+  // Strong optimality must survive the mixed base: no duplicates.
+  for (const auto &[Key, N] : RefKeys) {
+    if (N == 1)
+      continue;
+    Disagreement D = MakeDisagreement(
+        Disagreement::Kind::DuplicateOutput,
+        "recursive explorer emitted one history " + std::to_string(N) +
+            " times under mix(" + Resolved.str() + ")");
+    for (const History &H : Ref.Histories)
+      if (H.canonicalKey() == Key) {
+        D.Culprit = H;
+        break;
+      }
+    Out.push_back(std::move(D));
+    break;
+  }
+
+  // Driver diffs under the mixed base: iterative and parallel walks must
+  // reproduce the recursive output multiset (thread-count invariance).
+  ExplorerConfig Iterative = Recursive;
+  Iterative.Iterative = true;
+  auto IterKeys = keyMultiset(enumerateHistories(P, Iterative).Histories);
+  if (IterKeys != RefKeys)
+    Out.push_back(MakeDisagreement(
+        Disagreement::Kind::ExplorerSetMismatch,
+        "iterative vs recursive under mix(" + Resolved.str() +
+            "): " + diffSummary(IterKeys, RefKeys, "iterative", "recursive")));
+
+  if (Config.Threads > 1) {
+    ExplorerConfig Par = Recursive;
+    Par.Threads = Config.Threads;
+    std::vector<History> ParHistories;
+    ParallelExplorer E(P, Par);
+    E.run([&](const History &H) { ParHistories.push_back(H); });
+    auto ParKeys = keyMultiset(ParHistories);
+    if (ParKeys != RefKeys)
+      Out.push_back(MakeDisagreement(
+          Disagreement::Kind::ExplorerSetMismatch,
+          "parallel(" + std::to_string(Config.Threads) +
+              ") vs recursive under mix(" + Resolved.str() +
+              "): " + diffSummary(ParKeys, RefKeys, "parallel",
+                                  "recursive")));
+  }
+
+  // Completeness/soundness against the Def. 2.2 reference with
+  // per-transaction commit tests: the mixed output set must equal the
+  // explore-ce(true) set re-filtered by BruteForceChecker(assignment).
+  BruteForceChecker Reference(Resolved);
+  bool BruteAffordable =
+      !Config.MaxBruteForceTxns ||
+      P.totalTxns() + 1 <= Config.MaxBruteForceTxns;
+  if (BruteAffordable) {
+    ExplorerConfig All =
+        ExplorerConfig::exploreCE(IsolationLevel::Trivial);
+    if (Config.MaxHistoriesPerCase)
+      All.MaxEndStates = 4 * Config.MaxHistoriesPerCase + 1;
+    EnumerationResult Universe = enumerateHistories(P, All);
+    if (!(Config.MaxHistoriesPerCase &&
+          (Universe.Stats.HitEndStateCap ||
+           Universe.Histories.size() > 4 * Config.MaxHistoriesPerCase))) {
+      std::vector<History> Expected;
+      for (const History &H : Universe.Histories)
+        if (Reference.isConsistent(H))
+          Expected.push_back(H);
+      auto Want = keyMultiset(Expected);
+      if (RefKeys != Want)
+        Out.push_back(MakeDisagreement(
+            Disagreement::Kind::ExplorerSetMismatch,
+            "explore-ce(mix " + Resolved.str() +
+                ") vs brute-force-filtered explore-ce(true): " +
+                diffSummary(RefKeys, Want, "mixed", "reference")));
+    }
+  }
+
+  // Per-output verdict cross-check: the production mixed saturation
+  // checker against the brute-force reference. Every output must also be
+  // consistent under its own base assignment (explore-ce soundness).
+  if (Config.CrossCheckVerdicts) {
+    MixedSaturationChecker Production(Resolved);
+    for (const History &H : Ref.Histories) {
+      if (Out.size() >= 8)
+        break;
+      if (Config.MaxBruteForceTxns &&
+          H.numTxns() > Config.MaxBruteForceTxns)
+        continue;
+      bool Prod = Production.isConsistent(H);
+      bool RefV = Reference.isConsistent(H);
+      if (Prod != RefV) {
+        Disagreement D = MakeDisagreement(
+            Disagreement::Kind::CheckerVerdictMismatch,
+            std::string("mixed saturation says ") +
+                (Prod ? "consistent" : "inconsistent") +
+                ", per-transaction brute force says " +
+                (RefV ? "consistent" : "inconsistent") + " under mix(" +
+                Resolved.str() + ")");
+        D.Culprit = H;
+        D.ProductionVerdict = Prod;
+        D.ReferenceVerdict = RefV;
+        Out.push_back(std::move(D));
+      } else if (!RefV) {
+        Disagreement D = MakeDisagreement(
+            Disagreement::Kind::ExplorerSetMismatch,
+            "mixed-base output violates its own base assignment mix(" +
+                Resolved.str() + ") per the brute-force reference");
+        D.Culprit = H;
+        Out.push_back(std::move(D));
+      }
+    }
+  }
+}
+
 std::vector<Disagreement> DifferentialOracle::checkProgram(
     const Program &P, const std::vector<IsolationLevel> &SessionLevels) const {
   std::vector<Disagreement> Out;
+
+  // Mixed-isolation semantics: run the explorers with the sampled mix as
+  // a true per-session base assignment (not just a narrowed sweep).
+  if (Config.DiffMixedSemantics && !SessionLevels.empty())
+    checkMixedSemantics(P, SessionLevels, Out);
 
   // A per-session isolation-level mix narrows the sweep: only the named
   // levels (causally-extensible ones as bases, all of them as verdict

@@ -89,6 +89,10 @@ struct Disagreement {
 
   Kind K = Kind::CheckerVerdictMismatch;
   IsolationLevel Level = IsolationLevel::CausalConsistency;
+  /// Per-session base assignment of the mixed-semantics legs (explorer
+  /// diffs and verdict cross-checks under a mixed base); empty for the
+  /// classic uniform legs, where Level alone identifies the sweep point.
+  std::vector<IsolationLevel> MixLevels;
   std::string Detail;
   /// The offending history for history-scoped kinds (verdict/witness and
   /// duplicate kinds); unset for whole-set mismatches.
@@ -118,6 +122,15 @@ struct OracleConfig {
   bool DiffStarFilters = true;
   bool CrossCheckVerdicts = true;
   bool ValidateWitnesses = true;
+  /// Mixed-semantics legs for cases carrying a per-session level mix:
+  /// run the explorers with the mix as the *base assignment* (per-session
+  /// ValidWrites), diff the three drivers, and cross-check every mixed
+  /// output's MixedSaturationChecker verdict against
+  /// BruteForceChecker(assignment) — the Def. 2.2 reference with
+  /// per-transaction commit tests. Sampled levels outside the
+  /// causally-extensible chain are clamped to CC first (SI/SER cannot
+  /// drive ValidWrites), identically on both sides of the cross-check.
+  bool DiffMixedSemantics = true;
   /// Worker threads of the parallel leg (<= 1 skips it).
   unsigned Threads = 2;
   /// A base level whose output set exceeds this is skipped (its explorer
@@ -155,6 +168,9 @@ private:
   void checkOneHistory(const History &H,
                        const std::vector<IsolationLevel> &Levels,
                        std::vector<Disagreement> &Out) const;
+  void checkMixedSemantics(const Program &P,
+                           const std::vector<IsolationLevel> &SessionLevels,
+                           std::vector<Disagreement> &Out) const;
 
   OracleConfig Config;
 };

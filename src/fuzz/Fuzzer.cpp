@@ -92,6 +92,8 @@ FuzzReport txdpor::fuzz::runFuzz(const FuzzOptions &Options) {
     } else {
       ++Report.ProgramCases;
       CaseProgram = generateCase(R, Shape);
+      if (!Options.ForcedSessionLevels.empty())
+        CaseProgram->SessionLevels = Options.ForcedSessionLevels;
       Ds = Oracle.checkProgram(CaseProgram->Prog,
                                CaseProgram->SessionLevels);
     }
@@ -144,18 +146,24 @@ FuzzReport txdpor::fuzz::runFuzz(const FuzzOptions &Options) {
         return hasDisagreement(Oracle.checkProgram(C), First.K,
                                First.Level);
       };
+      // A *mixed-semantics* finding (MixLevels set) can only reproduce
+      // with its mix, which the default-sweep predicate above never
+      // passes — shrinking would latch any coincidental uniform
+      // disagreement of the same (kind, level) and drop the mix from
+      // the repro. Ship those unshrunk, mix on record.
       bool Minimized = false;
-      if (Options.Minimize &&
+      if (Options.Minimize && First.MixLevels.empty() &&
           (Mix.empty() || StillFails(CaseProgram->Prog))) {
         Core = minimizeProgram(CaseProgram->Prog, StillFails);
         Minimized = true;
       }
       R2.Prog = Core;
       // A minimized program reproduces under the default sweep; an
-      // unminimized one needs its original mix on record (a mix-narrowed
-      // finding may not show under the wider default sweep).
+      // unminimized one needs its mix on record (a mix-narrowed or
+      // mixed-semantics finding may not show under the wider default
+      // sweep). Prefer the mix the disagreement itself was found under.
       if (!Minimized)
-        R2.SessionLevels = Mix;
+        R2.SessionLevels = First.MixLevels.empty() ? Mix : First.MixLevels;
       // For history-scoped kinds, also ship the (minimized) culprit.
       // Without minimization the original report already has it; after
       // minimization re-run the oracle on the shrunk program.
@@ -171,7 +179,13 @@ FuzzReport txdpor::fuzz::runFuzz(const FuzzOptions &Options) {
         R2.ReferenceVerdict = D->ReferenceVerdict;
         if (D->Culprit) {
           History Culprit = *D->Culprit;
-          if (Options.Minimize &&
+          // checkHistory runs the uniform per-level sweep only, so a
+          // culprit from a *mixed-semantics* disagreement cannot be
+          // shrunk against it — the mixed mismatch would never
+          // reproduce and every candidate would be rejected (or, worse,
+          // a coincidental uniform mismatch would steer the shrink
+          // toward a different bug). Ship such culprits unshrunk.
+          if (Options.Minimize && First.MixLevels.empty() &&
               (First.K == Disagreement::Kind::CheckerVerdictMismatch ||
                First.K == Disagreement::Kind::WitnessMismatch))
             Culprit = minimizeHistory(Culprit, [&](const History &C) {

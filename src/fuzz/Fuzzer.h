@@ -50,6 +50,11 @@ struct FuzzOptions {
   /// only the checker/witness cross-checks; the rest are programs run
   /// through the full explorer diff.
   unsigned HistoryCasePercent = 50;
+  /// Pins every program case to this per-session isolation-level mix
+  /// (CLI `fuzz --levels`), overriding any shape-sampled mix. The program
+  /// draw itself is untouched, so a run differs from its unpinned twin
+  /// only in the oracle's level sweep and mixed-semantics legs.
+  std::vector<IsolationLevel> ForcedSessionLevels;
   /// Delta-debug disagreements to a minimal repro before reporting.
   bool Minimize = true;
   /// Directory for repro litmus files; empty = do not write files.

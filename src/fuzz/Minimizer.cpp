@@ -29,9 +29,15 @@ struct TxnSketch {
 };
 
 /// Mutable program: sessions of transaction sketches plus variable names.
+/// A declared per-session level assignment travels with the sessions so
+/// dropping session K drops its level too (and session compaction keeps
+/// level/session alignment).
 struct ProgramSketch {
   std::vector<std::vector<TxnSketch>> Sessions;
   std::vector<std::string> Vars;
+  bool HasLevels = false;
+  IsolationLevel DefaultLevel = IsolationLevel::CausalConsistency;
+  std::vector<IsolationLevel> Levels; ///< Parallel to Sessions (HasLevels).
 };
 
 ProgramSketch sketchOf(const Program &P) {
@@ -39,6 +45,12 @@ ProgramSketch sketchOf(const Program &P) {
   for (VarId V = 0; V != P.numVars(); ++V)
     S.Vars.push_back(P.varName(V));
   S.Sessions.resize(P.numSessions());
+  if (P.levels().hasExplicit()) {
+    S.HasLevels = true;
+    S.DefaultLevel = P.levels().defaultLevel();
+    for (unsigned Sess = 0; Sess != P.numSessions(); ++Sess)
+      S.Levels.push_back(P.levels().levelFor(Sess));
+  }
   for (unsigned Sess = 0; Sess != P.numSessions(); ++Sess) {
     for (unsigned T = 0; T != P.numTxns(Sess); ++T) {
       const Transaction &Txn = P.txn({Sess, T});
@@ -55,12 +67,17 @@ ProgramSketch sketchOf(const Program &P) {
 
 Program buildFrom(const ProgramSketch &S) {
   ProgramBuilder B;
+  if (S.HasLevels)
+    B.defaultLevel(S.DefaultLevel);
   for (const std::string &V : S.Vars)
     B.var(V);
   unsigned NextSession = 0;
-  for (const std::vector<TxnSketch> &Session : S.Sessions) {
+  for (size_t Sess = 0; Sess != S.Sessions.size(); ++Sess) {
+    const std::vector<TxnSketch> &Session = S.Sessions[Sess];
     if (Session.empty())
       continue; // Dropped sessions compact the numbering.
+    if (S.HasLevels && Sess < S.Levels.size())
+      B.sessionLevel(NextSession, S.Levels[Sess]);
     for (const TxnSketch &Sketch : Session) {
       auto T = B.beginTxn(NextSession, Sketch.Name);
       for (const std::string &L : Sketch.Locals)
@@ -93,6 +110,8 @@ bool dropSessions(ProgramSketch &S, const ProgramPredicate &StillFails) {
       continue;
     ProgramSketch Candidate = S;
     Candidate.Sessions.erase(Candidate.Sessions.begin() + Sess);
+    if (Candidate.HasLevels && Sess < Candidate.Levels.size())
+      Candidate.Levels.erase(Candidate.Levels.begin() + Sess);
     if (accept(Candidate, StillFails, S))
       Changed = true;
   }

@@ -7,10 +7,10 @@
 
 #include "fuzz/Repro.h"
 
+#include "consistency/LevelParse.h"
 #include "history/Serialize.h"
+#include "support/Parse.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <sstream>
 
 using namespace txdpor;
@@ -88,27 +88,6 @@ void writeExpr(std::ostream &OS, const Expr::NodeRef &E,
   }
 }
 
-/// Exception-free integer parsing: the parsers must return nullopt with
-/// a diagnostic on malformed (possibly hand-edited) input, never throw.
-std::optional<int64_t> parseInt(const std::string &Tok) {
-  errno = 0;
-  char *End = nullptr;
-  long long V = std::strtoll(Tok.c_str(), &End, 10);
-  if (Tok.empty() || *End != '\0' || errno == ERANGE)
-    return std::nullopt;
-  return static_cast<int64_t>(V);
-}
-
-std::optional<uint64_t> parseUInt(const std::string &Tok) {
-  if (Tok.empty() || Tok.front() == '-')
-    return std::nullopt;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(Tok.c_str(), &End, 10);
-  if (*End != '\0' || errno == ERANGE)
-    return std::nullopt;
-  return static_cast<uint64_t>(V);
-}
 
 /// Splits a line into tokens; '(' and ')' are tokens of their own.
 std::vector<std::string> tokenize(const std::string &Line) {
@@ -198,7 +177,13 @@ std::string txdpor::fuzz::writeProgramText(const Program &P) {
     OS << ' ' << P.varName(V);
   OS << '\n';
   for (unsigned S = 0; S != P.numSessions(); ++S) {
-    OS << "session " << S << '\n';
+    // A program-declared session level rides on the session line
+    // ("session 0 @CC"); programs without declarations round-trip to the
+    // legacy spelling byte-for-byte.
+    OS << "session " << S;
+    if (P.levels().hasExplicit())
+      OS << " @" << isolationLevelName(P.levels().levelFor(S));
+    OS << '\n';
     for (unsigned T = 0; T != P.numTxns(S); ++T) {
       const Transaction &Txn = P.txn({S, T});
       OS << "txn";
@@ -268,7 +253,7 @@ std::optional<Program> txdpor::fuzz::parseProgramText(const std::string &Text,
     }
     if (Head == "session") {
       std::optional<uint64_t> N =
-          Tokens.size() == 2 ? parseUInt(Tokens[1]) : std::nullopt;
+          Tokens.size() >= 2 ? parseUInt(Tokens[1]) : std::nullopt;
       if (!N)
         return Fail(LineNo, "session needs a number");
       // ProgramBuilder creates sessions up to the highest number seen, so
@@ -277,6 +262,24 @@ std::optional<Program> txdpor::fuzz::parseProgramText(const std::string &Text,
       if (*N > 4096)
         return Fail(LineNo, "session number out of range");
       CurrentSession = static_cast<unsigned>(*N);
+      // Optional "@LEVEL": the session's declared isolation level.
+      if (Tokens.size() >= 3) {
+        if (Tokens.size() > 3 || Tokens[2].size() < 2 ||
+            Tokens[2][0] != '@')
+          return Fail(LineNo, "trailing tokens after session");
+        std::optional<IsolationLevel> L =
+            isolationLevelByName(Tokens[2].substr(1));
+        if (!L)
+          return Fail(LineNo, "unknown session level '" + Tokens[2] + "'");
+        // Program-declared levels feed the explorer's *base* assignment,
+        // which must stay in the causally-extensible chain (§5) — reject
+        // hand-edited "@SI"/"@SER" with a diagnostic instead of letting
+        // them reach the engine's assert.
+        if (!isPrefixClosedCausallyExtensible(*L))
+          return Fail(LineNo, "session level must be one of true, RC, RA, "
+                              "CC (§5)");
+        B.sessionLevel(CurrentSession, *L);
+      }
       SawSession = true;
       Txn.reset();
       continue;
@@ -372,19 +375,18 @@ std::string txdpor::fuzz::writeRepro(const Repro &R) {
   OS << "# txdpor fuzz repro v1\n";
   OS << "seed " << R.Seed << " case " << R.CaseIndex << '\n';
   OS << "kind " << disagreementKindName(R.Kind) << '\n';
-  OS << "level " << isolationLevelName(R.Level) << '\n';
+  // The level line carries the sweep level and, for mixed-isolation
+  // cases, the per-session assignment: "level CC S0=CC S1=RC".
+  OS << "level " << isolationLevelName(R.Level);
+  for (size_t S = 0; S != R.SessionLevels.size(); ++S)
+    OS << " S" << S << '=' << isolationLevelName(R.SessionLevels[S]);
+  OS << '\n';
   OS << "verdict production="
      << (R.ProductionVerdict ? "consistent" : "inconsistent")
      << " reference=" << (R.ReferenceVerdict ? "consistent" : "inconsistent")
      << '\n';
   if (!R.Detail.empty())
     OS << "detail " << R.Detail << '\n';
-  if (!R.SessionLevels.empty()) {
-    OS << "mix";
-    for (IsolationLevel L : R.SessionLevels)
-      OS << ' ' << isolationLevelName(L);
-    OS << '\n';
-  }
   if (R.Prog) {
     OS << "program {\n" << writeProgramText(*R.Prog) << "}\n";
   }
@@ -433,14 +435,22 @@ std::optional<Repro> txdpor::fuzz::parseRepro(const std::string &Text,
     } else if (Head == "level") {
       if (Tokens.size() < 2)
         return Fail("level needs a value");
-      bool Found = false;
-      for (IsolationLevel L : AllIsolationLevels)
-        if (Tokens[1] == isolationLevelName(L)) {
-          R.Level = L;
-          Found = true;
-        }
-      if (!Found)
+      std::optional<IsolationLevel> Plain = isolationLevelByName(Tokens[1]);
+      if (!Plain)
         return Fail("unknown isolation level '" + Tokens[1] + "'");
+      R.Level = *Plain;
+      // Optional per-session assignments: "level CC S0=CC S1=RC". Gaps in
+      // a (hand-edited) sparse list inherit the plain level.
+      for (size_t I = 2; I != Tokens.size(); ++I) {
+        std::optional<std::pair<unsigned, IsolationLevel>> Entry =
+            parseSessionLevel(Tokens[I]);
+        if (!Entry)
+          return Fail("bad session level '" + Tokens[I] +
+                      "' (expected S<N>=<LEVEL>)");
+        if (R.SessionLevels.size() <= Entry->first)
+          R.SessionLevels.resize(Entry->first + 1, *Plain);
+        R.SessionLevels[Entry->first] = Entry->second;
+      }
     } else if (Head == "verdict") {
       for (size_t I = 1; I != Tokens.size(); ++I) {
         if (Tokens[I] == "production=consistent")
@@ -452,16 +462,13 @@ std::optional<Repro> txdpor::fuzz::parseRepro(const std::string &Text,
           return Fail("unknown verdict token '" + Tokens[I] + "'");
       }
     } else if (Head == "mix") {
+      // Legacy spelling (pre level-line assignments); still accepted.
       for (size_t I = 1; I != Tokens.size(); ++I) {
-        bool Found = false;
-        for (IsolationLevel L : AllIsolationLevels)
-          if (Tokens[I] == isolationLevelName(L)) {
-            R.SessionLevels.push_back(L);
-            Found = true;
-          }
-        if (!Found)
+        std::optional<IsolationLevel> L = isolationLevelByName(Tokens[I]);
+        if (!L)
           return Fail("unknown isolation level '" + Tokens[I] +
                       "' in mix");
+        R.SessionLevels.push_back(*L);
       }
     } else if (Head == "detail") {
       // Everything after the directive word, whatever whitespace

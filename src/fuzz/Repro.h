@@ -15,7 +15,7 @@
 ///   # txdpor fuzz repro v1
 ///   seed 42 case 17
 ///   kind checker-verdict-mismatch
-///   level CC
+///   level CC S0=CC S1=RC
 ///   verdict production=consistent reference=inconsistent
 ///   detail production says consistent, brute-force Def. 2.2 says ...
 ///   program {
@@ -69,10 +69,13 @@ struct Repro {
   bool ProductionVerdict = false;
   bool ReferenceVerdict = false;
   std::string Detail;
-  /// The case's per-session isolation-level mix ("mix" line), when the
-  /// generating shape sampled one: re-checking the program must use the
-  /// same narrowed sweep (DifferentialOracle::checkProgram's
-  /// SessionLevels) or the disagreement may not reproduce.
+  /// The case's per-session isolation-level mix, carried by the `level`
+  /// line's `S<N>=<LEVEL>` entries ("level CC S0=CC S1=RC"; the legacy
+  /// standalone `mix RC CC` line is still accepted on input). Re-checking
+  /// the program must pass the same mix to
+  /// DifferentialOracle::checkProgram — it selects both the narrowed
+  /// sweep and the mixed-semantics legs — or the disagreement may not
+  /// reproduce.
   std::vector<IsolationLevel> SessionLevels;
   std::optional<Program> Prog;
   std::optional<History> Hist;

@@ -53,7 +53,10 @@ std::vector<TxnUid> Program::oracleOrder() const {
 std::string Program::str() const {
   std::ostringstream OS;
   for (uint32_t S = 0; S != Sessions.size(); ++S) {
-    OS << "session " << S << ":\n";
+    OS << "session " << S;
+    if (Levels.hasExplicit())
+      OS << " @" << isolationLevelName(Levels.levelFor(S));
+    OS << ":\n";
     for (uint32_t T = 0; T != Sessions[S].size(); ++T) {
       const Transaction &Txn = Sessions[S][T];
       OS << "  begin";
@@ -116,6 +119,7 @@ Program ProgramBuilder::build() {
   Program Result;
   Result.VarNames = std::move(VarNames);
   Result.VarIds = std::move(VarIds);
+  Result.Levels = std::move(Levels);
   Result.Sessions.reserve(Sessions.size());
   for (auto &Session : Sessions)
     Result.Sessions.emplace_back(
@@ -124,5 +128,6 @@ Program ProgramBuilder::build() {
   Sessions.clear();
   VarNames.clear();
   VarIds.clear();
+  Levels = LevelAssignment();
   return Result;
 }

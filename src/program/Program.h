@@ -22,6 +22,7 @@
 #ifndef TXDPOR_PROGRAM_PROGRAM_H
 #define TXDPOR_PROGRAM_PROGRAM_H
 
+#include "consistency/IsolationLevel.h"
 #include "program/Expr.h"
 
 #include <deque>
@@ -127,6 +128,18 @@ public:
   /// session order, as the oracle order must be.
   std::vector<TxnUid> oracleOrder() const;
 
+  /// The workload's declared per-session isolation levels (mixed-level
+  /// checking, arXiv 2505.18409). Defaults to a plain uniform-CC
+  /// assignment with no explicit entries, which every explorer treats as
+  /// "no declaration" — the run's base level comes from ExplorerConfig.
+  /// An ExplorerConfig with its own explicit assignment overrides this.
+  const LevelAssignment &levels() const { return Levels; }
+  /// Re-tags the sessions' levels. Levels are workload *metadata*: they
+  /// never affect the instruction sequence, so re-tagging a built program
+  /// (the apps' mixed-workload variants do) keeps it semantically the
+  /// same program checked against a different deployment.
+  void setLevels(LevelAssignment L) { Levels = std::move(L); }
+
   /// Multi-line source-like rendering.
   std::string str() const;
 
@@ -135,6 +148,7 @@ private:
   std::vector<std::vector<Transaction>> Sessions;
   std::vector<std::string> VarNames;
   std::unordered_map<std::string, VarId> VarIds;
+  LevelAssignment Levels;
 };
 
 /// Fluent builder for programs. Typical use:
@@ -154,6 +168,17 @@ public:
   /// demand) and returns a handle for adding instructions.
   class TxnHandle;
   TxnHandle beginTxn(unsigned Session, const std::string &Name = "");
+
+  /// Declares \p Session to run at \p Level (see Program::levels()).
+  ProgramBuilder &sessionLevel(unsigned Session, IsolationLevel Level) {
+    Levels.set(Session, Level);
+    return *this;
+  }
+  /// Sets the default level of the program's assignment.
+  ProgramBuilder &defaultLevel(IsolationLevel Level) {
+    Levels.setDefault(Level);
+    return *this;
+  }
 
   /// Finalizes and returns the program. The builder is left empty.
   Program build();
@@ -213,6 +238,7 @@ private:
   std::vector<std::deque<Transaction>> Sessions;
   std::vector<std::string> VarNames;
   std::unordered_map<std::string, VarId> VarIds;
+  LevelAssignment Levels;
 };
 
 } // namespace txdpor

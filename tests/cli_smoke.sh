@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+#===- tests/cli_smoke.sh - CLI argument-handling smoke test --------------===#
+#
+# Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+# Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+#
+# Asserts the CLI's checked numeric option parsing: malformed, negative
+# and out-of-range values must exit non-zero with a diagnostic on stderr
+# (the pre-fix std::atoi path silently turned "--sessions abc" into 0 and
+# wrapped "--sessions -1" to ~4x10^9), and the documented good invocations
+# must keep exiting zero. Registered with ctest as cli_args_smoke; run
+# manually as: tests/cli_smoke.sh path/to/txdpor-cli
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+CLI="${1:?usage: cli_smoke.sh path/to/txdpor-cli}"
+failures=0
+
+# expect_reject <stderr-pattern> <args...> — the command must exit
+# non-zero and print a matching diagnostic on stderr.
+expect_reject() {
+  local pattern="$1"
+  shift
+  local stderr
+  stderr="$("$CLI" "$@" 2>&1 >/dev/null)"
+  local status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: '$CLI $*' exited 0, expected a rejection" >&2
+    failures=$((failures + 1))
+  elif ! printf '%s' "$stderr" | grep -q "$pattern"; then
+    echo "FAIL: '$CLI $*' stderr lacks /$pattern/: $stderr" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# expect_accept <args...> — the command must exit zero.
+expect_accept() {
+  if ! "$CLI" "$@" >/dev/null 2>&1; then
+    echo "FAIL: '$CLI $*' exited non-zero, expected success" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Malformed / negative numerics, both --opt=value and --opt value forms.
+expect_reject "expects a non-negative integer" --sessions=abc
+expect_reject "expects a non-negative integer" --sessions abc
+expect_reject "expects a non-negative integer" --sessions=-1
+expect_reject "expects a non-negative integer" --seed " -1"
+expect_reject "expects a non-negative integer" --seed "+5"
+expect_reject "does not take a value" --minimize=off
+expect_reject "must be non-negative" --budget-ms=-5
+expect_reject "must be non-negative" --budget-ms -5
+expect_reject "expects an integer" --budget-ms=oops
+expect_reject "expects a non-negative integer" --txns=1x
+expect_reject "expects a non-negative integer" --seed=-7
+expect_reject "expects a non-negative integer" --walks=many
+expect_reject "expects a non-negative integer" --threads=-2
+expect_reject "needs a value" --sessions
+expect_reject "unknown option" --no-such-flag
+
+# Fuzz-verb numerics go through the same checked path.
+expect_reject "expects a non-negative integer" fuzz --iters=abc
+expect_reject "must be one of true, RC, RA, CC" fuzz --levels S0=SI
+expect_reject "expects a non-negative integer" fuzz --seed=-1
+expect_reject "must be non-negative" fuzz --time-budget=-9
+expect_reject "up to 100" fuzz --history-percent=101
+
+# Level handling: --base restrictions, --levels spec validation.
+expect_reject "unknown isolation level" --base=XX
+expect_reject "must be one of true, RC, RA, CC" --base=SER
+expect_reject "must be one of true, RC, RA, CC" --levels S0=SER
+expect_reject "bad --levels entry" --levels S0-CC
+expect_reject "names session S9" --sessions 2 --levels S9=RC
+expect_reject "weaker than --filter" --levels S0=CC --filter RC --sessions 2
+
+# Good invocations stay good (uniform, mixed, = and space forms).
+expect_accept --app tpcc --sessions 2 --txns 1 --base CC
+expect_accept --app=tpcc --sessions=2 --txns=1 --base=RC --budget-ms=5000
+expect_accept --app tpcc --sessions 2 --txns 2 --levels S0=CC,S1=RC
+expect_accept --app tpcc --sessions 2 --txns 2 --levels CC,RC --threads 2
+expect_accept --app twitter --sessions 2 --txns 2 --mixed-workload
+
+if [ "$failures" -ne 0 ]; then
+  echo "cli_smoke: $failures assertion(s) failed" >&2
+  exit 1
+fi
+echo "cli_smoke: all assertions passed"

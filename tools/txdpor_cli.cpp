@@ -28,12 +28,14 @@
 
 #include "apps/Applications.h"
 #include "consistency/Explain.h"
+#include "consistency/LevelParse.h"
 #include "core/Enumerate.h"
 #include "core/RandomWalk.h"
 #include "fuzz/Fuzzer.h"
 #include "history/Dot.h"
 #include "history/Serialize.h"
 #include "parallel/ParallelExplorer.h"
+#include "support/Parse.h"
 #include "support/TablePrinter.h"
 
 #include <cstring>
@@ -50,6 +52,9 @@ struct CliOptions {
   unsigned Txns = 3;
   uint64_t Seed = 1;
   IsolationLevel Base = IsolationLevel::CausalConsistency;
+  /// Per-session base levels from --levels; empty = uniform Base.
+  std::vector<std::pair<unsigned, IsolationLevel>> Levels;
+  bool MixedWorkload = false;
   std::optional<IsolationLevel> Filter;
   std::optional<IsolationLevel> Classify;
   bool UseDfs = false;
@@ -77,6 +82,11 @@ void printUsage() {
       "  --txns N            transactions per session (default 3)\n"
       "  --seed N            client-generation seed (default 1)\n"
       "  --base LEVEL        explore-ce base: true|RC|RA|CC (default CC)\n"
+      "  --levels SPEC       per-session base levels (mixed isolation),\n"
+      "                      e.g. S0=CC,S1=RC or positional CC,RC,CC;\n"
+      "                      unnamed sessions run at --base\n"
+      "  --mixed-workload    tag the client's read-only sessions RC and\n"
+      "                      its writers CC (per-session semantics)\n"
       "  --filter LEVEL      explore-ce* filter: RC|RA|CC|SI|SER\n"
       "  --classify LEVEL    classify outputs against LEVEL, explain the\n"
       "                      first violation\n"
@@ -99,10 +109,7 @@ void printUsage() {
 }
 
 std::optional<IsolationLevel> parseLevel(const std::string &Name) {
-  for (IsolationLevel Level : AllIsolationLevels)
-    if (Name == isolationLevelName(Level))
-      return Level;
-  return std::nullopt;
+  return isolationLevelByName(Name);
 }
 
 std::optional<AppKind> parseApp(const std::string &Name) {
@@ -112,23 +119,179 @@ std::optional<AppKind> parseApp(const std::string &Name) {
   return std::nullopt;
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
-  auto NeedValue = [&](int &I) -> const char * {
-    if (I + 1 >= Argc) {
-      std::cerr << "error: " << Argv[I] << " needs a value\n";
-      return nullptr;
+/// Pulls "--opt value" and "--opt=value" options off argv. Every numeric
+/// option goes through the checked support/Parse.h parsers: the previous
+/// std::atoi/atoll handling silently turned "--sessions abc" into 0 and
+/// wrapped "--sessions -1" to ~4×10⁹ through static_cast<unsigned>.
+class OptionReader {
+public:
+  OptionReader(int Argc, char **Argv) : Argc(Argc), Argv(Argv) {}
+
+  /// True while arguments remain; loads the next option into option().
+  bool next() {
+    if (++I >= Argc)
+      return false;
+    Opt = Argv[I];
+    Inline.reset();
+    size_t Eq = Opt.find('=');
+    if (Opt.size() > 2 && Opt[0] == '-' && Opt[1] == '-' &&
+        Eq != std::string::npos) {
+      Inline = Opt.substr(Eq + 1);
+      Opt = Opt.substr(0, Eq);
     }
-    return Argv[++I];
+    return true;
+  }
+  const std::string &option() const { return Opt; }
+  bool is(const char *Name) const { return Opt == Name; }
+
+  /// For boolean flags: rejects a stray inline value so "--minimize=off"
+  /// is a diagnostic, not a silently-enabled flag.
+  bool flag() {
+    if (!Inline)
+      return true;
+    std::cerr << "error: " << Opt << " does not take a value (got '"
+              << *Inline << "')\n";
+    return false;
+  }
+
+  /// The option's value ("--opt value" or "--opt=value"); false with a
+  /// diagnostic when absent.
+  bool value(std::string &Out) {
+    if (Inline) {
+      Out = *Inline;
+      return true;
+    }
+    if (I + 1 >= Argc) {
+      std::cerr << "error: " << Opt << " needs a value\n";
+      return false;
+    }
+    Out = Argv[++I];
+    return true;
+  }
+
+  /// A value that must parse as a bounded non-negative integer.
+  bool unsignedValue(unsigned &Out, uint64_t Max = 0xffffffffu) {
+    std::string V;
+    if (!value(V))
+      return false;
+    std::optional<unsigned> Parsed = parseBoundedUInt(V, Max);
+    if (!Parsed) {
+      std::cerr << "error: " << Opt << " expects a non-negative integer"
+                << (Max != 0xffffffffu ? " up to " + std::to_string(Max)
+                                       : std::string())
+                << ", got '" << V << "'\n";
+      return false;
+    }
+    Out = *Parsed;
+    return true;
+  }
+
+  /// A value that must parse as a non-negative 64-bit integer.
+  bool uint64Value(uint64_t &Out) {
+    std::string V;
+    if (!value(V))
+      return false;
+    std::optional<uint64_t> Parsed = parseUInt(V);
+    if (!Parsed) {
+      std::cerr << "error: " << Opt
+                << " expects a non-negative integer, got '" << V << "'\n";
+      return false;
+    }
+    Out = *Parsed;
+    return true;
+  }
+
+  /// A millisecond budget: a signed parse so "-5" is diagnosed as a
+  /// negative budget (not as malformed), then rejected — a negative
+  /// value used to flow into Deadline unchecked.
+  bool budgetValue(int64_t &Out) {
+    std::string V;
+    if (!value(V))
+      return false;
+    std::optional<int64_t> Parsed = parseInt(V);
+    if (!Parsed) {
+      std::cerr << "error: " << Opt << " expects an integer, got '" << V
+                << "'\n";
+      return false;
+    }
+    if (*Parsed < 0) {
+      std::cerr << "error: " << Opt << " must be non-negative, got " << V
+                << '\n';
+      return false;
+    }
+    Out = *Parsed;
+    return true;
+  }
+
+  /// An isolation-level value.
+  bool levelValue(IsolationLevel &Out) {
+    std::string V;
+    if (!value(V))
+      return false;
+    std::optional<IsolationLevel> Level = parseLevel(V);
+    if (!Level) {
+      std::cerr << "error: unknown isolation level '" << V << "'\n";
+      return false;
+    }
+    Out = *Level;
+    return true;
+  }
+
+private:
+  int Argc;
+  char **Argv;
+  int I = 0;
+  std::string Opt;
+  std::optional<std::string> Inline;
+};
+
+/// Parses a --levels spec: comma-separated entries, each "S<N>=<LEVEL>"
+/// or a bare "<LEVEL>" assigned to the next positional session
+/// ("S0=CC,S1=RC" and "CC,RC" are equivalent).
+bool parseLevelsSpec(const std::string &Spec,
+                     std::vector<std::pair<unsigned, IsolationLevel>> &Out) {
+  auto Fail = [&](const std::string &Msg) {
+    std::cerr << "error: bad --levels entry: " << Msg << '\n';
+    return false;
   };
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--help" || Arg == "-h") {
+  unsigned NextPositional = 0;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Tok = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    if (Tok.empty())
+      return Fail("empty entry");
+    std::optional<std::pair<unsigned, IsolationLevel>> Entry;
+    if (Tok.find('=') != std::string::npos) {
+      // "S<N>=<LEVEL>" — the same entry grammar the litmus level line
+      // uses (consistency/IsolationLevel.h).
+      Entry = parseSessionLevel(Tok);
+      if (!Entry)
+        return Fail("'" + Tok + "' (expected S<N>=<LEVEL>)");
+    } else {
+      std::optional<IsolationLevel> Level = parseLevel(Tok);
+      if (!Level)
+        return Fail("unknown isolation level '" + Tok + "'");
+      Entry = std::make_pair(NextPositional, *Level);
+    }
+    Out.push_back(*Entry);
+    NextPositional = Entry->first + 1;
+  }
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  OptionReader R(Argc, Argv);
+  while (R.next()) {
+    if (R.is("--help") || R.is("-h")) {
       printUsage();
       std::exit(0);
     }
-    const char *Value = nullptr;
-    if (Arg == "--app") {
-      if (!(Value = NeedValue(I)))
+    if (R.is("--app")) {
+      std::string Value;
+      if (!R.value(Value))
         return false;
       std::optional<AppKind> App = parseApp(Value);
       if (!App) {
@@ -136,75 +299,81 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         return false;
       }
       Options.App = *App;
-    } else if (Arg == "--sessions") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--sessions")) {
+      if (!R.unsignedValue(Options.Sessions, /*Max=*/64))
         return false;
-      Options.Sessions = static_cast<unsigned>(std::atoi(Value));
-    } else if (Arg == "--txns") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--txns")) {
+      if (!R.unsignedValue(Options.Txns, /*Max=*/64))
         return false;
-      Options.Txns = static_cast<unsigned>(std::atoi(Value));
-    } else if (Arg == "--seed") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--seed")) {
+      if (!R.uint64Value(Options.Seed))
         return false;
-      Options.Seed = static_cast<uint64_t>(std::atoll(Value));
-    } else if (Arg == "--base" || Arg == "--filter" || Arg == "--classify") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--base")) {
+      if (!R.levelValue(Options.Base))
         return false;
-      std::optional<IsolationLevel> Level = parseLevel(Value);
-      if (!Level) {
-        std::cerr << "error: unknown isolation level '" << Value << "'\n";
+    } else if (R.is("--filter")) {
+      IsolationLevel L;
+      if (!R.levelValue(L))
         return false;
-      }
-      if (Arg == "--base")
-        Options.Base = *Level;
-      else if (Arg == "--filter")
-        Options.Filter = *Level;
-      else
-        Options.Classify = *Level;
-    } else if (Arg == "--dfs") {
+      Options.Filter = L;
+    } else if (R.is("--classify")) {
+      IsolationLevel L;
+      if (!R.levelValue(L))
+        return false;
+      Options.Classify = L;
+    } else if (R.is("--levels")) {
+      std::string Value;
+      if (!R.value(Value) || !parseLevelsSpec(Value, Options.Levels))
+        return false;
+    } else if (R.is("--mixed-workload")) {
+      if (!R.flag())
+        return false;
+      Options.MixedWorkload = true;
+    } else if (R.is("--dfs")) {
+      if (!R.flag())
+        return false;
       Options.UseDfs = true;
-    } else if (Arg == "--walks") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--walks")) {
+      uint64_t W;
+      if (!R.uint64Value(W))
         return false;
-      Options.Walks = static_cast<uint64_t>(std::atoll(Value));
-    } else if (Arg == "--budget-ms") {
-      if (!(Value = NeedValue(I)))
+      Options.Walks = W;
+    } else if (R.is("--budget-ms")) {
+      if (!R.budgetValue(Options.BudgetMs))
         return false;
-      Options.BudgetMs = std::atoll(Value);
-    } else if (Arg == "--threads" || Arg == "--split-factor" ||
-               Arg == "--split-depth") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--threads")) {
+      if (!R.unsignedValue(Options.Threads, /*Max=*/1024))
         return false;
-      int Parsed = std::atoi(Value);
-      if (Parsed < 0) {
-        std::cerr << "error: " << Arg << " must be non-negative\n";
+    } else if (R.is("--split-factor")) {
+      if (!R.unsignedValue(Options.SplitFactor, /*Max=*/4096))
         return false;
-      }
-      if (Arg == "--threads")
-        Options.Threads = static_cast<unsigned>(Parsed);
-      else if (Arg == "--split-factor")
-        Options.SplitFactor = static_cast<unsigned>(Parsed);
-      else
-        Options.SplitDepth = static_cast<unsigned>(Parsed);
-    } else if (Arg == "--print-program") {
+    } else if (R.is("--split-depth")) {
+      if (!R.unsignedValue(Options.SplitDepth))
+        return false;
+    } else if (R.is("--print-program")) {
+      if (!R.flag())
+        return false;
       Options.PrintProgram = true;
-    } else if (Arg == "--print-histories") {
+    } else if (R.is("--print-histories")) {
+      if (!R.flag())
+        return false;
       Options.PrintHistories = true;
-    } else if (Arg == "--print-witness") {
+    } else if (R.is("--print-witness")) {
+      if (!R.flag())
+        return false;
       Options.PrintWitness = true;
-    } else if (Arg == "--minimize") {
+    } else if (R.is("--minimize")) {
+      if (!R.flag())
+        return false;
       Options.Minimize = true;
-    } else if (Arg == "--dot") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--dot")) {
+      if (!R.value(Options.DotFile))
         return false;
-      Options.DotFile = Value;
-    } else if (Arg == "--save") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--save")) {
+      if (!R.value(Options.SaveFile))
         return false;
-      Options.SaveFile = Value;
     } else {
-      std::cerr << "error: unknown option '" << Arg << "'\n";
+      std::cerr << "error: unknown option '" << R.option() << "'\n";
       printUsage();
       return false;
     }
@@ -213,6 +382,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       !isPrefixClosedCausallyExtensible(Options.Base)) {
     std::cerr << "error: --base must be one of true, RC, RA, CC (§5)\n";
     return false;
+  }
+  for (const auto &[Session, Level] : Options.Levels) {
+    if (!isPrefixClosedCausallyExtensible(Level)) {
+      std::cerr << "error: --levels S" << Session
+                << " must be one of true, RC, RA, CC (§5; mixes of such "
+                   "levels stay causally extensible)\n";
+      return false;
+    }
+    if (Options.Filter && !isWeakerOrEqual(Level, *Options.Filter)) {
+      std::cerr << "error: --levels S" << Session
+                << " must be weaker than --filter (Cor. 6.2)\n";
+      return false;
+    }
   }
   if (Options.Filter && !isWeakerOrEqual(Options.Base, *Options.Filter)) {
     std::cerr << "error: --base must be weaker than --filter (Cor. 6.2)\n";
@@ -247,6 +429,9 @@ void printFuzzUsage() {
       "  --iters N           cases to run (default 1000)\n"
       "  --time-budget MS    wall-clock cutoff in ms (default 0 = none)\n"
       "  --shape NAME        tiny|default|wide|deep|sql|mixed\n"
+      "  --levels SPEC       pin every program case to this per-session\n"
+      "                      level mix (e.g. S0=CC,S1=RC): the oracle\n"
+      "                      runs its mixed-semantics legs against it\n"
       "  --history-percent P share of raw-history cases (default 50)\n"
       "  --no-minimize       report disagreements without delta debugging\n"
       "  --out DIR           write minimized repros as litmus files here\n"
@@ -261,33 +446,24 @@ void printFuzzUsage() {
 int fuzzMain(int Argc, char **Argv) {
   fuzz::FuzzOptions Options;
   Options.Log = &std::cout;
-  auto NeedValue = [&](int &I) -> const char * {
-    if (I + 1 >= Argc) {
-      std::cerr << "error: " << Argv[I] << " needs a value\n";
-      return nullptr;
-    }
-    return Argv[++I];
-  };
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    const char *Value = nullptr;
-    if (Arg == "--help" || Arg == "-h") {
+  std::string LevelsSpec;
+  OptionReader R(Argc, Argv);
+  while (R.next()) {
+    if (R.is("--help") || R.is("-h")) {
       printFuzzUsage();
       return 0;
-    } else if (Arg == "--seed") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--seed")) {
+      if (!R.uint64Value(Options.Seed))
         return 1;
-      Options.Seed = static_cast<uint64_t>(std::atoll(Value));
-    } else if (Arg == "--iters") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--iters")) {
+      if (!R.uint64Value(Options.Iterations))
         return 1;
-      Options.Iterations = static_cast<uint64_t>(std::atoll(Value));
-    } else if (Arg == "--time-budget") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--time-budget")) {
+      if (!R.budgetValue(Options.TimeBudgetMs))
         return 1;
-      Options.TimeBudgetMs = std::atoll(Value);
-    } else if (Arg == "--shape") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--shape")) {
+      std::string Value;
+      if (!R.value(Value))
         return 1;
       if (!fuzz::programShapeByName(Value)) {
         std::cerr << "error: unknown shape '" << Value << "'; one of:";
@@ -297,22 +473,44 @@ int fuzzMain(int Argc, char **Argv) {
         return 1;
       }
       Options.ShapeName = Value;
-    } else if (Arg == "--history-percent") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--levels")) {
+      std::vector<std::pair<unsigned, IsolationLevel>> Entries;
+      if (!R.value(LevelsSpec) || !parseLevelsSpec(LevelsSpec, Entries))
         return 1;
-      Options.HistoryCasePercent = static_cast<unsigned>(std::atoi(Value));
-    } else if (Arg == "--no-minimize") {
+      // The fuzzer's mix is dense (one level per session); gaps in a
+      // sparse spec run at CC, the oracle's default base. Like the
+      // explore verb, pins must stay in the causally-extensible chain —
+      // the mixed-semantics legs would otherwise silently clamp an
+      // SI/SER pin to CC, soaking a deployment the user never asked for.
+      for (const auto &[Session, Level] : Entries) {
+        if (!isPrefixClosedCausallyExtensible(Level)) {
+          std::cerr << "error: --levels S" << Session
+                    << " must be one of true, RC, RA, CC (§5)\n";
+          return 1;
+        }
+        if (Options.ForcedSessionLevels.size() <= Session)
+          Options.ForcedSessionLevels.resize(
+              Session + 1, IsolationLevel::CausalConsistency);
+        Options.ForcedSessionLevels[Session] = Level;
+      }
+    } else if (R.is("--history-percent")) {
+      unsigned P;
+      if (!R.unsignedValue(P, /*Max=*/100))
+        return 1;
+      Options.HistoryCasePercent = P;
+    } else if (R.is("--no-minimize")) {
+      if (!R.flag())
+        return 1;
       Options.Minimize = false;
-    } else if (Arg == "--out") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--out")) {
+      if (!R.value(Options.OutDir))
         return 1;
-      Options.OutDir = Value;
-    } else if (Arg == "--max-findings") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--max-findings")) {
+      if (!R.uint64Value(Options.MaxDisagreements))
         return 1;
-      Options.MaxDisagreements = static_cast<uint64_t>(std::atoll(Value));
-    } else if (Arg == "--mutate") {
-      if (!(Value = NeedValue(I)))
+    } else if (R.is("--mutate")) {
+      std::string Value;
+      if (!R.value(Value))
         return 1;
       std::optional<fuzz::CheckerMutation> M =
           fuzz::checkerMutationByName(Value);
@@ -323,7 +521,7 @@ int fuzzMain(int Argc, char **Argv) {
       }
       Options.Mutation = *M;
     } else {
-      std::cerr << "error: unknown fuzz option '" << Arg << "'\n";
+      std::cerr << "error: unknown fuzz option '" << R.option() << "'\n";
       printFuzzUsage();
       return 1;
     }
@@ -352,6 +550,8 @@ int fuzzMain(int Argc, char **Argv) {
               << Options.ShapeName << " --history-percent "
               << Options.HistoryCasePercent << " --max-findings "
               << Options.MaxDisagreements;
+    if (!LevelsSpec.empty())
+      std::cout << " --levels " << LevelsSpec;
     if (!Options.Minimize)
       std::cout << " --no-minimize";
     if (Options.Mutation != fuzz::CheckerMutation::None)
@@ -372,16 +572,37 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Options))
     return 1;
 
+  for (const auto &[Session, Level] : Options.Levels) {
+    (void)Level;
+    if (Session >= Options.Sessions) {
+      std::cerr << "error: --levels names session S" << Session
+                << " but the client has " << Options.Sessions
+                << " sessions\n";
+      return 1;
+    }
+  }
+  if ((!Options.Levels.empty() || Options.MixedWorkload) &&
+      (Options.UseDfs || Options.Walks)) {
+    std::cerr << "error: per-session levels need the swapping explorer "
+                 "(drop --dfs/--walks)\n";
+    return 1;
+  }
+
   ClientSpec Spec;
   Spec.Sessions = Options.Sessions;
   Spec.TxnsPerSession = Options.Txns;
   Spec.Seed = Options.Seed;
+  Spec.MixedLevels = Options.MixedWorkload;
+  Spec.MixedBase = Options.Base;
   Program P = makeClientProgram(Options.App, Spec);
   VarNameFn Names = P.varNameFn();
 
   std::cout << "client: " << appName(Options.App) << " seed " << Options.Seed
             << ", " << Options.Sessions << " sessions x " << Options.Txns
-            << " txns\n";
+            << " txns";
+  if (P.levels().hasExplicit())
+    std::cout << " [" << P.levels().str() << ']';
+  std::cout << '\n';
   if (Options.PrintProgram)
     std::cout << '\n' << P.str() << '\n';
 
@@ -414,6 +635,36 @@ int main(int Argc, char **Argv) {
 
   ExplorerConfig Config;
   Config.BaseLevel = Options.Base;
+  if (!Options.Levels.empty()) {
+    Config.BaseLevels.setDefault(Options.Base);
+    for (const auto &[Session, Level] : Options.Levels)
+      Config.BaseLevels.set(Session, Level);
+  } else if (P.levels().hasExplicit()) {
+    // Surface a program-declared assignment (e.g. --mixed-workload) in
+    // the config so algorithmName() reports the real base; the engine
+    // would resolve to the same assignment either way.
+    Config.BaseLevels = P.levels();
+  }
+  // Normalize against the actual session count so an all-agreeing
+  // --levels spec *is* the uniform algorithm, in the report and in the
+  // engine ("--base RC --levels CC,CC" runs — and prints — CC). When an
+  // all-agreeing spec collapses over a program that *declares* levels
+  // (--mixed-workload --levels CC,...), the pins are kept explicit so
+  // the user's override still beats the declaration in the engine.
+  if (Config.BaseLevels.hasExplicit()) {
+    LevelAssignment Resolved = Config.BaseLevels.resolved(P.numSessions());
+    Config.BaseLevel = Resolved.defaultLevel();
+    if (!Resolved.hasExplicit() && P.levels().hasExplicit())
+      for (unsigned S = 0; S != P.numSessions(); ++S)
+        Resolved.set(S, Resolved.defaultLevel());
+    Config.BaseLevels = std::move(Resolved);
+  }
+  if (Options.Filter && Config.BaseLevels.hasExplicit() &&
+      !Config.BaseLevels.allWeakerOrEqual(*Options.Filter)) {
+    std::cerr << "error: every session's base level must be weaker than "
+                 "--filter (Cor. 6.2)\n";
+    return 1;
+  }
   Config.FilterLevel = Options.Filter;
   Config.TimeBudget = Deadline::afterMillis(Options.BudgetMs);
   Config.Threads = Options.Threads;
