@@ -12,30 +12,49 @@
 /// the paper's §9 observation that checking is polynomial for RC/RA/CC
 /// and NP-complete (search) for SI/SER — visible as the growth-rate gap.
 ///
+/// Since the incremental commit-test engine landed, the file also
+/// benchmarks ConstraintState against the scratch checkers: bulk verdicts
+/// (BM_Incremental*) and the ValidWrites probe loop (BM_ValidWrites*),
+/// the DPOR's innermost loop. A custom main() additionally runs a fixed
+/// incremental-vs-scratch checks/sec comparison and dumps it as
+/// BENCH_consistency.json (support/Json), the per-PR trajectory record —
+/// see docs/BENCHMARKS.md.
+///
 //===----------------------------------------------------------------------===//
 
 #include "consistency/ConsistencyChecker.h"
+#include "consistency/IncrementalChecker.h"
+#include "consistency/SaturationChecker.h"
 #include "history/History.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 using namespace txdpor;
 
 namespace {
 
+constexpr unsigned kNumVars = 3;
+
 /// Deterministic random history with Txns transactions over 3 sessions.
+/// Engine-shaped: one transaction at a time, readers after writers — the
+/// discipline both checker families accept.
 History makeHistory(unsigned Txns, uint64_t Seed) {
   Rng R(Seed);
-  unsigned NumVars = 3;
-  History H = History::makeInitial(NumVars);
+  History H = History::makeInitial(kNumVars);
   std::vector<uint32_t> NextIndex(3, 0);
   Value Next = 1;
   for (unsigned T = 0; T != Txns; ++T) {
     uint32_t S = static_cast<uint32_t>(R.nextBelow(3));
     unsigned Idx = H.beginTxn({S, NextIndex[S]++});
     for (unsigned Op = 0, E = 1 + R.nextBelow(2) ; Op != E; ++Op) {
-      VarId X = static_cast<VarId>(R.nextBelow(NumVars));
+      VarId X = static_cast<VarId>(R.nextBelow(kNumVars));
       if (R.chance(1, 2)) {
         H.appendEvent(Idx, Event::makeWrite(X, Next++));
         continue;
@@ -55,11 +74,16 @@ History makeHistory(unsigned Txns, uint64_t Seed) {
   return H;
 }
 
-void checkerBenchmark(benchmark::State &State, IsolationLevel Level) {
-  unsigned Txns = static_cast<unsigned>(State.range(0));
+std::vector<History> makeHistories(unsigned Txns) {
   std::vector<History> Histories;
   for (uint64_t Seed = 1; Seed <= 8; ++Seed)
     Histories.push_back(makeHistory(Txns, Seed));
+  return Histories;
+}
+
+void checkerBenchmark(benchmark::State &State, IsolationLevel Level) {
+  std::vector<History> Histories =
+      makeHistories(static_cast<unsigned>(State.range(0)));
   const ConsistencyChecker &Checker = checkerFor(Level);
   size_t I = 0;
   for (auto _ : State) {
@@ -67,6 +91,76 @@ void checkerBenchmark(benchmark::State &State, IsolationLevel Level) {
         Checker.isConsistent(Histories[I++ % Histories.size()]));
   }
   State.SetLabel(isolationLevelName(Level));
+}
+
+/// The same verdicts through the incremental core's bulk replay — what a
+/// swap child pays to rebuild its carried state.
+void incrementalBenchmark(benchmark::State &State, IsolationLevel Level) {
+  std::vector<History> Histories =
+      makeHistories(static_cast<unsigned>(State.range(0)));
+  LevelAssignment Levels = LevelAssignment::uniform(Level);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        ConstraintState(Histories[I++ % Histories.size()], Levels)
+            .consistent());
+  }
+  State.SetLabel(std::string(isolationLevelName(Level)) + "-incremental");
+}
+
+/// One ValidWrites step: a pending reader probes every committed writer
+/// of a variable. The scratch variant re-points the wr dependency and
+/// rebuilds the constraint graph per candidate (the engine's pre-
+/// incremental inner loop); the probe variant queries the carried state.
+struct ValidWritesFixture {
+  History H;            ///< With the reader's read appended (scratch side).
+  History Prefix;       ///< Without the read (state side).
+  unsigned ReaderIdx;
+  uint32_t ReadPos;
+  VarId Var = 0;
+  std::vector<unsigned> Candidates;
+
+  explicit ValidWritesFixture(unsigned Txns) {
+    Prefix = makeHistory(Txns, /*Seed=*/3);
+    ReaderIdx = Prefix.beginTxn({3, 0});
+    H = Prefix;
+    H.appendEvent(ReaderIdx, Event::makeRead(Var));
+    ReadPos = static_cast<uint32_t>(H.txn(ReaderIdx).size()) - 1;
+    Candidates = H.committedWriters(Var);
+  }
+};
+
+void validWritesScratch(benchmark::State &State) {
+  ValidWritesFixture F(static_cast<unsigned>(State.range(0)));
+  const ConsistencyChecker &Checker =
+      checkerFor(IsolationLevel::CausalConsistency);
+  for (auto _ : State) {
+    unsigned Admitted = 0;
+    for (unsigned W : F.Candidates) {
+      F.H.setWriter(F.ReaderIdx, F.ReadPos, F.H.txn(W).uid());
+      Admitted += Checker.isConsistent(F.H);
+    }
+    benchmark::DoNotOptimize(Admitted);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(F.Candidates.size()));
+  State.SetLabel("scratch");
+}
+
+void validWritesIncremental(benchmark::State &State) {
+  ValidWritesFixture F(static_cast<unsigned>(State.range(0)));
+  ConstraintState St(F.Prefix,
+                     LevelAssignment::uniform(
+                         IsolationLevel::CausalConsistency));
+  for (auto _ : State) {
+    unsigned Admitted = 0;
+    for (unsigned W : F.Candidates)
+      Admitted += St.readAdmits(W, F.Var);
+    benchmark::DoNotOptimize(Admitted);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(F.Candidates.size()));
+  State.SetLabel("incremental");
 }
 
 } // namespace
@@ -77,8 +171,107 @@ void checkerBenchmark(benchmark::State &State, IsolationLevel Level) {
   }                                                                           \
   BENCHMARK(NAME)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
 
+#define TXDPOR_INCREMENTAL_BENCH(NAME, LEVEL)                                 \
+  static void NAME(benchmark::State &State) {                                 \
+    incrementalBenchmark(State, IsolationLevel::LEVEL);                       \
+  }                                                                           \
+  BENCHMARK(NAME)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+
 TXDPOR_CHECKER_BENCH(BM_CheckReadCommitted, ReadCommitted);
 TXDPOR_CHECKER_BENCH(BM_CheckReadAtomic, ReadAtomic);
 TXDPOR_CHECKER_BENCH(BM_CheckCausalConsistency, CausalConsistency);
 TXDPOR_CHECKER_BENCH(BM_CheckSnapshotIsolation, SnapshotIsolation);
 TXDPOR_CHECKER_BENCH(BM_CheckSerializability, Serializability);
+
+TXDPOR_INCREMENTAL_BENCH(BM_IncrementalReadCommitted, ReadCommitted);
+TXDPOR_INCREMENTAL_BENCH(BM_IncrementalReadAtomic, ReadAtomic);
+TXDPOR_INCREMENTAL_BENCH(BM_IncrementalCausalConsistency, CausalConsistency);
+
+BENCHMARK(validWritesScratch)->Name("BM_ValidWritesScratch")->Arg(8)->Arg(16);
+BENCHMARK(validWritesIncremental)
+    ->Name("BM_ValidWritesIncremental")
+    ->Arg(8)
+    ->Arg(16);
+
+namespace {
+
+/// Fixed-budget checks/sec of one ValidWrites configuration, measured
+/// with plain chrono so the JSON dump works without the google-benchmark
+/// console reporter.
+double checksPerSecond(unsigned Txns, bool Incremental) {
+  ValidWritesFixture F(Txns);
+  const ConsistencyChecker &Checker =
+      checkerFor(IsolationLevel::CausalConsistency);
+  ConstraintState St(F.Prefix,
+                     LevelAssignment::uniform(
+                         IsolationLevel::CausalConsistency));
+  using Clock = std::chrono::steady_clock;
+  const auto Budget = std::chrono::milliseconds(200);
+  auto Start = Clock::now();
+  uint64_t Checks = 0;
+  unsigned Sink = 0;
+  while (Clock::now() - Start < Budget) {
+    for (unsigned Rep = 0; Rep != 16; ++Rep) {
+      for (unsigned W : F.Candidates) {
+        if (Incremental) {
+          Sink += St.readAdmits(W, F.Var);
+        } else {
+          F.H.setWriter(F.ReaderIdx, F.ReadPos, F.H.txn(W).uid());
+          Sink += Checker.isConsistent(F.H);
+        }
+        ++Checks;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(Sink);
+  double Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  return static_cast<double>(Checks) / Seconds;
+}
+
+/// Dumps BENCH_consistency.json: incremental-vs-scratch commit-test rates
+/// per history size, the trajectory record for this optimization.
+void dumpConsistencyJson() {
+  const char *Path = std::getenv("TXDPOR_BENCH_JSON_CONSISTENCY");
+  if (!Path || !*Path)
+    Path = "BENCH_consistency.json";
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "error: cannot open '" << Path << "' for writing\n";
+    return;
+  }
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("bench").value("consistency_micro");
+  J.key("metric").value("CC ValidWrites commit tests per second");
+  J.key("runs").beginArray();
+  for (unsigned Txns : {8u, 16u}) {
+    double Scratch = checksPerSecond(Txns, /*Incremental=*/false);
+    double Incremental = checksPerSecond(Txns, /*Incremental=*/true);
+    J.beginObject();
+    J.key("txns").value(Txns);
+    J.key("scratch_checks_per_sec").value(Scratch);
+    J.key("incremental_checks_per_sec").value(Incremental);
+    J.key("speedup").value(Incremental / Scratch);
+    J.endObject();
+    std::cout << "ValidWrites(" << Txns << " txns): scratch "
+              << static_cast<uint64_t>(Scratch) << "/s, incremental "
+              << static_cast<uint64_t>(Incremental) << "/s ("
+              << Incremental / Scratch << "x)\n";
+  }
+  J.endArray();
+  J.endObject();
+  OS << '\n';
+  std::cout << "wrote " << Path << '\n';
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  dumpConsistencyJson();
+  return 0;
+}

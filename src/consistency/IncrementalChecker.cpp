@@ -1,0 +1,381 @@
+//===- consistency/IncrementalChecker.cpp - Incremental commit test -------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "consistency/IncrementalChecker.h"
+
+#include <algorithm>
+
+using namespace txdpor;
+
+namespace {
+
+inline bool testBit(const uint64_t *Bits, unsigned I) {
+  return (Bits[I / 64] >> (I % 64)) & 1;
+}
+
+inline void setBit(uint64_t *Bits, unsigned I) {
+  Bits[I / 64] |= uint64_t(1) << (I % 64);
+}
+
+} // namespace
+
+bool ConstraintState::insertClosureEdge(Relation &R, unsigned A, unsigned B) {
+  if (A == B || R.get(B, A))
+    return false; // The edge closes a cycle through an existing path.
+  if (R.get(A, B))
+    return true; // Already implied; the closure cannot change.
+  R.orRow(A, B);
+  R.set(A, B);
+  // Everything that reached A now also reaches B and B's successors.
+  for (unsigned I = 0; I != NumTxns; ++I)
+    if (I != A && R.get(I, A))
+      R.orRow(I, A);
+  return true;
+}
+
+void ConstraintState::beginBlock(unsigned Idx, TxnUid Uid) {
+  assert(!Inconsistent && "extending an inconsistent state");
+  assert(!HasOpen && "a transaction is already open");
+  assert(!Uid.isInit() && "the initial transaction is tracked at build");
+  assert(Idx == NumTxns && "blocks must be appended in order");
+  assert(Idx < MaxN && "state capacity exceeded (wrong MaxTxns?)");
+
+  NumTxns = Idx + 1;
+  SessionOfTxn[Idx] = Uid.Session;
+  HasOpen = true;
+  OpenIdx = Idx;
+  OpenLevel = Levels.levelFor(Uid.Session);
+  std::fill(OpenPreds.begin(), OpenPreds.end(), 0);
+  OpenReads.clear();
+
+  // Session-order edges end in the fresh sink, so they can never close a
+  // cycle; so is transitive (§2.2.1), hence *every* earlier transaction
+  // of the session is a direct predecessor, not just the last one.
+  uint64_t *Direct = OpenPreds.data();
+  uint64_t *Causal = OpenPreds.data() + Words;
+  auto AddSo = [&](unsigned P) {
+    SoWr.set(P, Idx);
+    bool OkC = insertClosureEdge(CausalClosure, P, Idx);
+    bool OkG = TrivialOnly || insertClosureEdge(GClosure, P, Idx);
+    assert(OkC && OkG && "an edge into a fresh sink cannot cycle");
+    (void)OkC;
+    (void)OkG;
+    setBit(Direct, P);
+  };
+  AddSo(0); // The initial transaction precedes everyone (Def. 2.1).
+  for (unsigned P = 1; P != Idx; ++P)
+    if (SessionOfTxn[P] == Uid.Session)
+      AddSo(P);
+  // Causal predecessors: whatever now reaches the new block.
+  for (unsigned I = 0; I != Idx; ++I)
+    if (CausalClosure.get(I, Idx))
+      setBit(Causal, I);
+}
+
+void ConstraintState::applyBegin(TxnUid Uid) { beginBlock(NumTxns, Uid); }
+
+void ConstraintState::collectReadEdges(unsigned W, VarId Var,
+                                       std::vector<Edge> &Out) const {
+  Out.clear();
+  const IsolationLevel L = OpenLevel;
+  if (L == IsolationLevel::Trivial)
+    return;
+
+  const uint64_t *Direct = OpenPreds.data();
+  const uint64_t *Causal = OpenPreds.data() + Words;
+
+  if (L == IsolationLevel::ReadCommitted) {
+    // Event-granular premise (wr ∘ po): writers of the open transaction's
+    // earlier reads. Later wr edges never grow an RC premise, so there is
+    // no retroactive part.
+    for (const ReadRec &R : OpenReads)
+      if (R.Writer != W && writesVar(R.Writer, Var))
+        Out.push_back({R.Writer, W});
+    return;
+  }
+
+  assert((L == IsolationLevel::ReadAtomic ||
+          L == IsolationLevel::CausalConsistency) &&
+         "saturable levels only");
+  const uint64_t *Premise = L == IsolationLevel::ReadAtomic ? Direct : Causal;
+
+  // (a) The new read's own axiom instances: premise ∩ writers(Var) → W.
+  // The wr edge W → open also puts {W} (RA) resp. {W} ∪ causalPreds(W)
+  // (CC) into the premise, but W itself is excluded (t2 ≠ t1) and a
+  // causal predecessor T2 of W already reaches W in every closure, so its
+  // forced edge (T2, W) can neither cycle nor change the closure — those
+  // instances are skipped.
+  const uint64_t *VarWriters = &WriterBits[static_cast<size_t>(Var) * Words];
+  for (unsigned I = 0; I != Words; ++I) {
+    uint64_t Bits = Premise[I] & VarWriters[I];
+    while (Bits) {
+      unsigned T2 = I * 64 + static_cast<unsigned>(__builtin_ctzll(Bits));
+      Bits &= Bits - 1;
+      if (T2 != W)
+        Out.push_back({T2, W});
+    }
+  }
+
+  // (b) Retroactive growth: the wr edge W → open enlarges φ(·, open) for
+  // every earlier read of the open transaction (§2.2.2 quantifies over
+  // the whole history's so ∪ wr, not a prefix of it).
+  auto GrownBy = [&](unsigned T2) {
+    for (const ReadRec &R : OpenReads)
+      if (T2 != R.Writer && writesVar(T2, R.Var))
+        Out.push_back({T2, R.Writer});
+  };
+  if (L == IsolationLevel::ReadAtomic) {
+    if (!testBit(Direct, W))
+      GrownBy(W);
+    return;
+  }
+  if (!testBit(Causal, W)) {
+    GrownBy(W);
+    for (unsigned T2 = 0; T2 != NumTxns; ++T2)
+      if (CausalClosure.get(T2, W) && !testBit(Causal, T2))
+        GrownBy(T2);
+  }
+}
+
+namespace {
+
+/// Cycle search over the edge graph with ≤ 64 nodes: Gray marks the DFS
+/// stack, Done the finished nodes.
+template <typename ArcFnT>
+bool dfsCycle64(size_t K, ArcFnT Arc, size_t Node, uint64_t &Gray,
+                uint64_t &Done) {
+  Gray |= uint64_t(1) << Node;
+  for (size_t J = 0; J != K; ++J) {
+    if (J == Node || !Arc(Node, J))
+      continue;
+    if (Gray & (uint64_t(1) << J))
+      return true;
+    if (!(Done & (uint64_t(1) << J)) && dfsCycle64(K, Arc, J, Gray, Done))
+      return true;
+  }
+  Gray &= ~(uint64_t(1) << Node);
+  Done |= uint64_t(1) << Node;
+  return false;
+}
+
+} // namespace
+
+bool ConstraintState::createsCycle(const std::vector<Edge> &Edges) const {
+  // A new cycle must use at least one new edge; between consecutive new
+  // edges it follows (possibly empty) paths of the old acyclic graph,
+  // which the maintained closure answers in O(1).
+  for (const Edge &E : Edges)
+    if (GClosure.get(E.To, E.From))
+      return true;
+  const size_t K = Edges.size();
+  if (K < 2)
+    return false;
+  auto Arc = [&](size_t I, size_t J) {
+    return Edges[I].To == Edges[J].From ||
+           GClosure.get(Edges[I].To, Edges[J].From);
+  };
+  if (K <= 64) {
+    uint64_t Gray = 0, Done = 0;
+    for (size_t S = 0; S != K; ++S)
+      if (!(Done & (uint64_t(1) << S)) && dfsCycle64(K, Arc, S, Gray, Done))
+        return true;
+    return false;
+  }
+  // Degenerate fallback (more than 64 forced edges from one probe).
+  std::vector<uint8_t> Color(K, 0);
+  std::vector<std::pair<size_t, size_t>> Stack;
+  for (size_t S = 0; S != K; ++S) {
+    if (Color[S])
+      continue;
+    Stack.push_back({S, 0});
+    Color[S] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, Next] = Stack.back();
+      if (Next == K) {
+        Color[Node] = 2;
+        Stack.pop_back();
+        continue;
+      }
+      size_t J = Next++;
+      if (J == Node || !Arc(Node, J))
+        continue;
+      if (Color[J] == 1)
+        return true;
+      if (Color[J] == 0) {
+        Color[J] = 1;
+        Stack.push_back({J, 0});
+      }
+    }
+  }
+  return false;
+}
+
+bool ConstraintState::readAdmits(unsigned W, VarId Var) const {
+  assert(!Inconsistent && "probing an inconsistent state");
+  assert(HasOpen && "no open transaction to probe");
+  assert(W != OpenIdx && "a read cannot read-from its own transaction");
+  assert(W < NumTxns && writesVar(W, Var) &&
+         "candidate must be a committed writer of the variable");
+  if (TrivialOnly)
+    return true; // No forced edges anywhere; the wr edge ends in a sink.
+  // The wr edge W → open ends in a so ∪ wr sink and cannot cycle; only
+  // the forced edges — all between completed transactions — can.
+  collectReadEdges(W, Var, Scratch.Edges);
+  return !createsCycle(Scratch.Edges);
+}
+
+void ConstraintState::applyExternalRead(unsigned W, VarId Var) {
+  assert(!Inconsistent && "extending an inconsistent state");
+  assert(HasOpen && "no open transaction");
+  assert(W != OpenIdx && W < NumTxns && writesVar(W, Var) &&
+         "wr writer must be a committed writer of the variable");
+  if (TrivialOnly) {
+    // Premises and the forced closure are never consulted; only the
+    // causal closure (readLatest truncations) needs the wr edge.
+    SoWr.set(W, OpenIdx);
+    bool Ok = insertClosureEdge(CausalClosure, W, OpenIdx);
+    assert(Ok && "a wr edge into the open sink cannot cycle");
+    (void)Ok;
+    return;
+  }
+  collectReadEdges(W, Var, Scratch.Edges);
+
+  SoWr.set(W, OpenIdx);
+  bool OkC = insertClosureEdge(CausalClosure, W, OpenIdx);
+  bool OkG = insertClosureEdge(GClosure, W, OpenIdx);
+  assert(OkC && OkG && "a wr edge into the open sink cannot cycle");
+  (void)OkC;
+  (void)OkG;
+
+  for (const Edge &E : Scratch.Edges) {
+    if (!insertClosureEdge(GClosure, E.From, E.To)) {
+      // Only reachable through the bulk constructor: the engine probes
+      // readAdmits first and never applies an inadmissible writer.
+      Inconsistent = true;
+      return;
+    }
+  }
+
+  uint64_t *Direct = OpenPreds.data();
+  uint64_t *Causal = OpenPreds.data() + Words;
+  setBit(Direct, W);
+  if (!testBit(Causal, W)) {
+    setBit(Causal, W);
+    // The causal past of the committed writer is frozen; fold it in once.
+    for (unsigned I = 0; I != NumTxns; ++I)
+      if (CausalClosure.get(I, W))
+        setBit(Causal, I);
+  }
+  OpenReads.push_back({Var, W});
+}
+
+void ConstraintState::applyCommit(const TransactionLog &Log) {
+  assert(HasOpen && !Inconsistent);
+  assert(Log.isCommitted() && "applyCommit on a non-committed log");
+  for (VarId V : Log.writtenVars()) {
+    assert(V < NumVars && "variable out of range");
+    setBit(&WriterBits[static_cast<size_t>(V) * Words], OpenIdx);
+  }
+  HasOpen = false;
+  OpenReads.clear();
+}
+
+void ConstraintState::applyAbort() {
+  assert(HasOpen && !Inconsistent);
+  // The aborted transaction's writes stay invisible and its so/wr/forced
+  // edges are already in the graph — nothing to add.
+  HasOpen = false;
+  OpenReads.clear();
+}
+
+ConstraintState::ConstraintState(const History &H,
+                                 const LevelAssignment &Levels,
+                                 unsigned MaxTxns)
+    : Levels(Levels) {
+  assert(this->Levels.allPrefixClosedCausallyExtensible() &&
+         "the incremental commit test covers the saturable levels only");
+  const unsigned N = H.numTxns();
+  assert(N >= 1 && H.txn(0).isInit() &&
+         "history must start with the initial transaction");
+  MaxN = std::max(MaxTxns, N);
+  Words = (MaxN + 63) / 64;
+  TrivialOnly = this->Levels.strongest() == IsolationLevel::Trivial;
+  SoWr = Relation(MaxN);
+  CausalClosure = Relation(MaxN);
+  if (!TrivialOnly)
+    GClosure = Relation(MaxN);
+  // The initial transaction writes value 0 to every variable, so its log
+  // spans the variable universe.
+  std::vector<VarId> InitVars = H.txn(0).writtenVars();
+  NumVars = InitVars.empty() ? 0 : InitVars.back() + 1;
+  WriterBits.assign(static_cast<size_t>(NumVars) * Words, 0);
+  SessionOfTxn.assign(MaxN, 0);
+  SessionOfTxn[0] = TxnUid::InitSession;
+  OpenPreds.assign(2 * static_cast<size_t>(Words), 0);
+  NumTxns = 1;
+  for (VarId V : InitVars)
+    setBit(&WriterBits[static_cast<size_t>(V) * Words], 0);
+
+  // Replay the blocks through the same appliers the explorer uses. A
+  // pending block need not be last (the readLatest truncations keep the
+  // truncated reader mid-order); its probe context is set aside while the
+  // later blocks replay — sound because nothing ever leaves a pending
+  // sink, so later blocks cannot mention it — and restored at the end.
+  bool Stashed = false;
+  unsigned StashIdx = 0;
+  IsolationLevel StashLevel = IsolationLevel::Trivial;
+  std::vector<uint64_t> StashPreds;
+  std::vector<ReadRec> StashReads;
+
+  for (unsigned Idx = 1; Idx != N && !Inconsistent; ++Idx) {
+    const TransactionLog &Log = H.txn(Idx);
+    if (HasOpen) {
+      assert(!Stashed && "more than one pending transaction");
+      Stashed = true;
+      StashIdx = OpenIdx;
+      StashLevel = OpenLevel;
+      StashPreds = OpenPreds;
+      StashReads = std::move(OpenReads);
+      OpenReads.clear();
+      HasOpen = false;
+    }
+    beginBlock(Idx, Log.uid());
+    const uint32_t Size = static_cast<uint32_t>(Log.size());
+    for (uint32_t P = 1; P != Size && !Inconsistent; ++P) {
+      const Event &Ev = Log.event(P);
+      switch (Ev.Kind) {
+      case EventKind::Read:
+        if (std::optional<TxnUid> W = Log.writerOf(P)) {
+          std::optional<unsigned> WIdx = H.indexOf(*W);
+          assert(WIdx && "wr writer missing from history");
+          applyExternalRead(*WIdx, Ev.Var);
+        }
+        break;
+      case EventKind::Write:
+        break; // Visible only at commit; a write can never cycle (§3.2).
+      case EventKind::Commit:
+        applyCommit(Log);
+        break;
+      case EventKind::Abort:
+        applyAbort();
+        break;
+      case EventKind::Begin:
+        assert(false && "begin must be the first event of a log");
+        break;
+      }
+    }
+  }
+
+  if (Stashed && !Inconsistent) {
+    assert(!HasOpen && "more than one pending transaction");
+    HasOpen = true;
+    OpenIdx = StashIdx;
+    OpenLevel = StashLevel;
+    OpenPreds = std::move(StashPreds);
+    OpenReads = std::move(StashReads);
+  }
+}

@@ -1,0 +1,256 @@
+//===- consistency/IncrementalChecker.h - Incremental commit test ---------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental commit-test engine behind ValidWrites (§5.1).
+///
+/// The saturation equivalence (consistency/SaturationChecker.h) reduces
+/// "h satisfies I" for the saturable levels (true/RC/RA/CC, uniform or per
+/// session) to "so ∪ wr ∪ forced(I) is acyclic". The scratch checkers
+/// rebuild that graph and re-test acyclicity from nothing on every call —
+/// the innermost loop of the DPOR pays a full O(N³/64) closure per
+/// candidate writer of every external read.
+///
+/// ConstraintState instead *carries* the saturation state along the
+/// exploration tree, exploiting the explorer's ordered-history discipline
+/// (events are only ever appended to the unique pending transaction, and
+/// the block order extends so ∪ wr):
+///
+///  * the pending transaction is a so ∪ wr *sink*, so no edge ever leaves
+///    it and no new edge can touch the graph anywhere else — appending a
+///    begin, write, commit or abort can never close a cycle and costs at
+///    most a few O(N/64) row unions;
+///  * the causal past of a committed transaction is frozen (every later
+///    edge points at the then-pending sink), so the axiom premises of
+///    completed reads never grow again, and the premise of the pending
+///    transaction's reads grows only through its own new wr edges;
+///  * probing a candidate writer W for a new external read therefore
+///    reduces to: "would the read's forced edges (all targeting committed
+///    transactions) close a cycle through the maintained closure?" — a
+///    handful of O(1) reachability bit-tests instead of a graph rebuild.
+///
+/// One state instance decides *both* the uniform and the per-session mixed
+/// commit test — it is parameterized by a LevelAssignment, and a uniform
+/// assignment is simply the one-level special case — so the two semantics
+/// share every line of the incremental core and cannot drift. The scratch
+/// SaturationChecker / MixedSaturationChecker remain the independent
+/// reference implementations: NaiveDfs, RandomWalk and the Valid filter
+/// keep using them, the DifferentialOracle diffs the two continuously, and
+/// tests/incremental_checker_test.cpp pins probe-by-probe equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CONSISTENCY_INCREMENTALCHECKER_H
+#define TXDPOR_CONSISTENCY_INCREMENTALCHECKER_H
+
+#include "consistency/IsolationLevel.h"
+#include "history/History.h"
+#include "support/Relation.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace txdpor {
+
+/// Saturation state of one ordered history, maintained under the
+/// explorer's append-only extension steps and carried copy-on-write by
+/// value alongside each WorkItem (exactly like the cursor snapshot):
+/// copying the state is a few flat-buffer copies, extending it is
+/// O(N/64)-per-row work, and probing a candidate writer is O(1)
+/// reachability queries against the maintained closures.
+///
+/// Contract: the history this state tracks must satisfy the ordered-
+/// history invariants the explorer maintains (§5) — every so ∪ wr edge
+/// goes forward in block order and at most one transaction is pending.
+/// (The pending block need not be last: the truncated reader of the
+/// readLatest histories sits mid-order.) Like a History value, one state
+/// is owned by a single thread at a time; distinct copies may be used
+/// concurrently without synchronization since they share no storage.
+class ConstraintState {
+public:
+  ConstraintState() = default;
+
+  /// Bulk-builds the state of \p H by replaying its blocks through the
+  /// same incremental appliers the explorer uses event by event — one
+  /// code path, so bulk and carried states cannot diverge. Detects
+  /// inconsistency on the way (the first forced edge that closes a cycle
+  /// flips consistent() to false and stops the build).
+  ///
+  /// \p MaxTxns pre-sizes every matrix/bitset for the largest history
+  /// this state will ever grow to (the program's transaction count plus
+  /// the initial transaction); appending within that capacity never
+  /// reallocates. 0 sizes for H itself (probe-only states).
+  ConstraintState(const History &H, const LevelAssignment &Levels,
+                  unsigned MaxTxns = 0);
+
+  /// False once some read's forced edges closed a cycle: the tracked
+  /// history violates the base assignment. Extension appliers must not be
+  /// called on an inconsistent state.
+  bool consistent() const { return !Inconsistent; }
+
+  /// Transactions tracked so far (== the history's block count).
+  unsigned numTxns() const { return NumTxns; }
+
+  /// The per-session assignment every commit test is evaluated under.
+  const LevelAssignment &levels() const { return Levels; }
+
+  /// The maintained causal closure (so ∪ wr)+ over block indices — the
+  /// relation History::causalRelation() computes from scratch. Rows are
+  /// sized for capacity; only indices below numTxns() are meaningful.
+  const Relation &causal() const { return CausalClosure; }
+
+  /// True if committed transaction \p Txn visibly writes \p Var — the
+  /// maintained index behind History::committedWriters' linear scan.
+  bool writesVar(unsigned Txn, VarId Var) const {
+    assert(Var < NumVars && "variable out of range");
+    return (WriterBits[wordIndex(Var, Txn)] >> (Txn % 64)) & 1;
+  }
+
+  /// Calls \p Fn(W) for every committed writer of \p Var in ascending
+  /// block order (the initial transaction first) — the candidate
+  /// enumeration of ValidWrites, without materializing a vector.
+  template <typename FnT> void forEachCommittedWriter(VarId Var, FnT Fn) const {
+    assert(Var < NumVars && "variable out of range");
+    const uint64_t *Row = &WriterBits[static_cast<size_t>(Var) * Words];
+    for (unsigned W = 0; W != Words; ++W) {
+      uint64_t Word = Row[W];
+      while (Word) {
+        Fn(W * 64 + static_cast<unsigned>(__builtin_ctzll(Word)));
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  /// True while a transaction is open (pending): the target of probes and
+  /// read/commit/abort appliers.
+  bool hasOpenTxn() const { return HasOpen; }
+  /// Block index of the open transaction.
+  unsigned openTxn() const {
+    assert(HasOpen && "no open transaction");
+    return OpenIdx;
+  }
+
+  /// The incremental commit test (§5.1): would appending an external read
+  /// of \p Var to the open transaction, with its wr dependency on the
+  /// committed writer \p W, keep so ∪ wr ∪ forced acyclic? Equivalent to
+  /// the scratch checker's verdict on the extended history (asserted by
+  /// the engine in debug builds), at the cost of O(premise) bit-tests.
+  bool readAdmits(unsigned W, VarId Var) const;
+
+  //===--------------------------------------------------------------------===
+  // Extension appliers, mirroring the engine's Next steps. Writes and
+  // internal reads change nothing (a write only matters once its
+  // transaction commits; an internal read has no wr edge), so they have
+  // no applier.
+  //===--------------------------------------------------------------------===
+
+  /// Registers the begin of \p Uid as a new open transaction: adds its
+  /// session-order edges (which end in the new sink and can never cycle).
+  void applyBegin(TxnUid Uid);
+
+  /// Registers the wr choice \p W for the just-appended external read of
+  /// \p Var: adds the wr edge, the read's forced edges, and the premise
+  /// growth of the open transaction. The caller must have probed
+  /// readAdmits(W, Var) — a cycle here flips the state to inconsistent
+  /// (which the bulk constructor uses to decide verdicts).
+  void applyExternalRead(unsigned W, VarId Var);
+
+  /// Registers the commit of the open transaction, making its writes
+  /// visible to committedWriters / premise tests. \p Log is its log.
+  void applyCommit(const TransactionLog &Log);
+
+  /// Registers the abort of the open transaction: its writes stay
+  /// invisible; its so/wr edges and forced edges remain (the axioms keep
+  /// constraining aborted readers, §2.2.1).
+  void applyAbort();
+
+private:
+  /// One forced (or wr) edge candidate of a probe.
+  struct Edge {
+    unsigned From, To;
+  };
+  /// One recorded external read of the open transaction.
+  struct ReadRec {
+    VarId Var;
+    unsigned Writer;
+  };
+
+  size_t wordIndex(VarId Var, unsigned Txn) const {
+    return static_cast<size_t>(Var) * Words + Txn / 64;
+  }
+
+  /// Adds edge (A, B) to closure \p R, keeping R transitively closed.
+  /// Returns false (leaving R with the edge absorbed but the graph
+  /// cyclic) if B already reaches A.
+  bool insertClosureEdge(Relation &R, unsigned A, unsigned B);
+
+  /// Collects the new forced edges of appending a read of \p Var with
+  /// writer \p W to the open transaction: the read's own axiom instances
+  /// plus the retroactive premise growth of the open transaction's
+  /// earlier reads (§2.2.2 — a later wr edge enlarges φ(·, t) for every
+  /// read of t).
+  void collectReadEdges(unsigned W, VarId Var, std::vector<Edge> &Out) const;
+
+  /// True if G ∪ \p Edges has a cycle, given GClosure = closure of the
+  /// acyclic G: searches the tiny graph whose nodes are the new edges and
+  /// whose arcs are old-closure reachability between their endpoints.
+  bool createsCycle(const std::vector<Edge> &Edges) const;
+
+  /// Begins tracking block \p Idx (bulk and incremental share this).
+  void beginBlock(unsigned Idx, TxnUid Uid);
+
+  LevelAssignment Levels;
+  unsigned MaxN = 0;    ///< Capacity (every matrix row is sized for this).
+  unsigned Words = 0;   ///< Bitset words per row of capacity MaxN.
+  unsigned NumTxns = 0; ///< Logical size; indices match H's block order.
+  unsigned NumVars = 0;
+  bool Inconsistent = false;
+  /// Every session at "true": no read ever forces an edge, so probes are
+  /// constant-true and the forced closure and premise tracking are
+  /// skipped entirely — explore-ce(true) keeps its old free commit test.
+  bool TrivialOnly = false;
+
+  Relation SoWr;          ///< so ∪ wr edges (direct).
+  Relation CausalClosure; ///< (so ∪ wr)+ — the CC premise.
+  Relation GClosure;      ///< (so ∪ wr ∪ forced)+ — the cycle test.
+  /// Committed-writer bitset per variable (NumVars x Words), ascending
+  /// transaction bits == ascending block order.
+  std::vector<uint64_t> WriterBits;
+  /// Session of each transaction (TxnUid::InitSession for the initial
+  /// one); applyBegin derives session-order predecessors from it.
+  std::vector<uint32_t> SessionOfTxn;
+
+  // Open-transaction context.
+  bool HasOpen = false;
+  unsigned OpenIdx = 0;
+  IsolationLevel OpenLevel = IsolationLevel::Trivial;
+  /// Direct so ∪ wr predecessors (words [0, Words)) and causal
+  /// predecessors (words [Words, 2*Words)) of the open transaction — the
+  /// RA and CC premises of its reads.
+  std::vector<uint64_t> OpenPreds;
+  /// External reads of the open transaction, in po order — the RC premise
+  /// and the retroactive-growth targets.
+  std::vector<ReadRec> OpenReads;
+
+  /// Probe scratch, reused across readAdmits calls (single-owner, like
+  /// the rest of the state). Copying a state deliberately does NOT copy
+  /// the scratch — every read branch clones the parent state, and the
+  /// clone's first probe would overwrite it anyway.
+  struct ScratchBuffer {
+    std::vector<Edge> Edges;
+    ScratchBuffer() = default;
+    ScratchBuffer(const ScratchBuffer &) {}
+    ScratchBuffer &operator=(const ScratchBuffer &) { return *this; }
+    ScratchBuffer(ScratchBuffer &&) = default;
+    ScratchBuffer &operator=(ScratchBuffer &&) = default;
+  };
+  mutable ScratchBuffer Scratch;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_CONSISTENCY_INCREMENTALCHECKER_H

@@ -22,16 +22,12 @@ namespace {
 template <typename LevelFnT>
 Relation forcedConstraintGraph(const History &H, LevelFnT LevelFor) {
   unsigned N = H.numTxns();
-  Relation SoWr = H.soWrRelation();
+  const Relation &SoWr = H.soWrRelation();
   Relation Constraints = SoWr;
 
-  // The CC premise, materialized only when some session runs at CC.
-  std::optional<Relation> Causal;
-  auto GetCausal = [&]() -> const Relation & {
-    if (!Causal)
-      Causal = H.causalRelation();
-    return *Causal;
-  };
+  // The CC premise; the relation is memoized on the history value, so
+  // touching it lazily here costs one closure at most.
+  auto GetCausal = [&]() -> const Relation & { return H.causalRelation(); };
 
   for (unsigned T3 = 0; T3 != N; ++T3) {
     const TransactionLog &Log = H.txn(T3);

@@ -56,7 +56,11 @@ ExplorationEngine::ExplorationEngine(const Program &Prog,
 }
 
 WorkItem ExplorationEngine::initialItem() const {
-  return {History::makeInitial(Prog.numVars()), CursorMap(), /*Depth=*/1};
+  History H = History::makeInitial(Prog.numVars());
+  // Reserve capacity for the whole program up front: every extension of
+  // the carried state then works in place, without reallocation.
+  ConstraintState State(H, BaseLevels, Prog.totalTxns() + 1);
+  return {std::move(H), CursorMap(), /*Depth=*/1, std::move(State)};
 }
 
 bool ExplorationEngine::shouldStop(ExplorationSink &S) const {
@@ -152,6 +156,7 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
 
   History &H = Item.H;
   CursorMap &Cursors = Item.Cursors;
+  ConstraintState &CState = Item.CState;
   NextOp Next = computeNext(H, Cursors);
   if (Next.Done) {
     reachedEndState(H, S);
@@ -162,9 +167,11 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // Begin events extend deterministically; a begin is never a commit, so
     // the swap phase would be a no-op (§5.2).
     H.beginTxn(Next.Uid);
+    CState.applyBegin(Next.Uid);
     Cursors[Next.Uid.packed()] = TxnCursor::fresh(Prog.txn(Next.Uid));
     ++S.Stats.EventsAdded;
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    Out.push_back(
+        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
     return;
   }
 
@@ -187,17 +194,30 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
       TxnCursor &Cur = Cursors[Next.Uid.packed()];
       Cur = Next.Advanced;
       applyRead(Code, Cur, H.readValue(Idx, Pos));
-      Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+      Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
+                     std::move(CState)});
       return;
     }
 
+    // The §5.1 commit test, incremental: each candidate is a reachability
+    // probe against the carried closure instead of a constraint-graph
+    // rebuild. The candidate enumeration itself comes from the state's
+    // per-variable committed-writer index (same ascending block order as
+    // History::committedWriters). Debug builds re-derive every verdict
+    // with the scratch checker, so any drift aborts the exploration.
     std::vector<unsigned> Candidates;
-    for (unsigned W : H.committedWriters(Next.Op.Var)) {
-      H.setWriter(Idx, Pos, H.txn(W).uid());
+    CState.forEachCommittedWriter(Next.Op.Var, [&](unsigned W) {
       ++S.Stats.ConsistencyChecks;
-      if (Base.isConsistent(H))
+      bool Admits = CState.readAdmits(W, Next.Op.Var);
+#ifndef NDEBUG
+      History Probe = H;
+      Probe.setWriter(Idx, Pos, H.txn(W).uid());
+      assert(Admits == Base.isConsistent(Probe) &&
+             "incremental commit test drifted from the scratch checker");
+#endif
+      if (Admits)
         Candidates.push_back(W);
-    }
+    });
     if (Candidates.empty()) {
       // Cannot happen for causally-extensible base levels (§3.2); counted
       // to let tests assert strong optimality.
@@ -206,18 +226,22 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     }
     // Explore latest writers first (order does not affect the result set).
     // The branch copy is a copy-on-write alias: every log is shared with H
-    // until setWriter clones the one reader log it re-points.
+    // until setWriter clones the one reader log it re-points. The carried
+    // state is re-used by value: one flat copy plus the O(rows) read
+    // application per branch.
     for (size_t CI = Candidates.size(); CI-- > 0;) {
       unsigned W = Candidates[CI];
       History Branch = H;
       Branch.setWriter(Idx, Pos, H.txn(W).uid());
+      ConstraintState BranchState = CState;
+      BranchState.applyExternalRead(W, Next.Op.Var);
       CursorMap BranchCursors = Cursors;
       TxnCursor &Cur = BranchCursors[Next.Uid.packed()];
       Cur = Next.Advanced;
       applyRead(Code, Cur, Branch.readValue(Idx, Pos));
       ++S.Stats.ReadBranches;
-      Out.push_back(
-          {std::move(Branch), std::move(BranchCursors), Item.Depth + 1});
+      Out.push_back({std::move(Branch), std::move(BranchCursors),
+                     Item.Depth + 1, std::move(BranchState)});
       // A read is never a commit: the swap phase would be a no-op.
     }
     return;
@@ -227,26 +251,32 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     H.appendEvent(Idx, Event::makeWrite(Next.Op.Var, Next.Op.Val));
     ++S.Stats.EventsAdded;
     // Causal extensibility (Thm. 3.4) guarantees writes never violate the
-    // base level when the pending transaction is (so ∪ wr)+-maximal.
+    // base level when the pending transaction is (so ∪ wr)+-maximal — the
+    // carried state needs no update either: a write adds no edge, and its
+    // visibility starts at the commit (§2.2.1).
     assert(Base.isConsistent(H) && "write extension broke consistency");
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyWrite(Cursors[Next.Uid.packed()]);
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    Out.push_back(
+        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
     return;
   }
 
   case DbOp::Kind::Abort: {
     H.appendEvent(Idx, Event::makeAbort());
+    CState.applyAbort();
     ++S.Stats.EventsAdded;
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyFinish(Cursors[Next.Uid.packed()]);
     // Aborted transactions are never swap targets (§5.2, footnote 5).
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    Out.push_back(
+        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
     return;
   }
 
   case DbOp::Kind::Commit: {
     H.appendEvent(Idx, Event::makeCommit());
+    CState.applyCommit(H.txn(Idx));
     ++S.Stats.EventsAdded;
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyFinish(Cursors[Next.Uid.packed()]);
@@ -257,23 +287,37 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // order, §5.2, each gated by the Optimality condition, §5.3). Each
     // swap child shares every kept log with H (copy-on-write) and rebuilds
     // only the truncated reader's cursor: all other cursors are reused
-    // from this item's snapshot via replayCursorsFrom.
+    // from this item's snapshot via replayCursorsFrom. Its constraint
+    // state rebuilds the same way the cursors do, from the applySwap
+    // resume point: every block below FirstChanged is byte-identical to a
+    // kept block of H, so the bulk replay re-derives their rows without
+    // any commit-test work, and only the truncated reader at FirstChanged
+    // re-runs its reads through the incremental appliers; the state then
+    // doubles as the Optimality consistency check and is handed to the
+    // child, which probes its next read against it directly.
     std::vector<WorkItem> SwapChildren;
     for (const Reordering &R : computeReorderings(H)) {
       ++S.Stats.SwapsConsidered;
-      if (!optimalityHolds(H, R, Base, Config.CheckSwapped,
-                           Config.CheckReadLatest,
-                           &S.Stats.ConsistencyChecks, Order))
-        continue;
-      ++S.Stats.SwapsApplied;
       unsigned FirstChanged = 0;
       History Swapped = applySwap(H, R, &FirstChanged);
+      ++S.Stats.ConsistencyChecks;
+      ConstraintState SwapState(Swapped, BaseLevels, Prog.totalTxns() + 1);
+      assert(SwapState.consistent() == Base.isConsistent(Swapped) &&
+             "incremental swap verdict drifted from the scratch checker");
+      if (!SwapState.consistent())
+        continue;
+      if (!optimalityRestrictionsHold(H, R, BaseLevels, Config.CheckSwapped,
+                                      Config.CheckReadLatest,
+                                      &S.Stats.ConsistencyChecks, Order))
+        continue;
+      ++S.Stats.SwapsApplied;
       CursorMap SwapCursors =
           replayCursorsFrom(Prog, Swapped, Cursors, FirstChanged);
-      SwapChildren.push_back(
-          {std::move(Swapped), std::move(SwapCursors), Item.Depth + 1});
+      SwapChildren.push_back({std::move(Swapped), std::move(SwapCursors),
+                              Item.Depth + 1, std::move(SwapState)});
     }
-    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1});
+    Out.push_back(
+        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
     for (WorkItem &Child : SwapChildren)
       Out.push_back(std::move(Child));
     return;

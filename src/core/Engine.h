@@ -35,6 +35,7 @@
 #define TXDPOR_CORE_ENGINE_H
 
 #include "consistency/ConsistencyChecker.h"
+#include "consistency/IncrementalChecker.h"
 #include "core/ExplorerConfig.h"
 #include "core/Swap.h"
 #include "program/Program.h"
@@ -46,8 +47,9 @@
 
 namespace txdpor {
 
-/// One node of the exploration tree: a history with its execution cursors,
-/// at a recursion depth (the worklist entry of §7.1).
+/// One node of the exploration tree: a history with its execution cursors
+/// and its incremental saturation state, at a recursion depth (the
+/// worklist entry of §7.1).
 ///
 /// Ownership/threading contract: a WorkItem is owned by exactly one thread
 /// at a time; the parallel driver transfers ownership by *moving* items
@@ -55,11 +57,18 @@ namespace txdpor {
 /// value — siblings and ancestors share transaction-log storage across
 /// threads — which is safe precisely because mutation happens only through
 /// the single owning thread, and History clones any shared log before
-/// writing (see history/History.h).
+/// writing (see history/History.h). The constraint state is a plain value
+/// (its flat buffers share nothing), so stealing an item moves it with no
+/// cross-thread aliasing at all.
 struct WorkItem {
   History H;
   CursorMap Cursors;
   unsigned Depth = 1;
+  /// The maintained so ∪ wr ∪ forced closure of H under the engine's base
+  /// assignment — carried along the tree exactly like the cursor snapshot,
+  /// so ValidWrites probes candidate writers against it instead of
+  /// rebuilding the constraint graph per candidate (§5.1).
+  ConstraintState CState;
 };
 
 /// Mutable per-walk (per-worker) state threaded through expandItem. The

@@ -7,6 +7,8 @@
 
 #include "core/Swap.h"
 
+#include "consistency/IncrementalChecker.h"
+
 using namespace txdpor;
 
 bool txdpor::oracleLess(TxnUid A, TxnUid B) {
@@ -50,7 +52,7 @@ std::vector<Reordering> txdpor::computeReorderings(const History &H) {
   if (!Target.isCommitted() || Target.isInit())
     return Result;
 
-  Relation Causal = H.causalRelation();
+  const Relation &Causal = H.causalRelation();
   for (unsigned I = 0; I != TIdx; ++I) {
     // (tr(r), t) must not be related by (so ∪ wr)*.
     if (Causal.get(I, TIdx))
@@ -76,7 +78,7 @@ namespace {
 /// The truncated reader stays at its original position.
 History truncateKeepingCausalPast(const History &H, unsigned ReaderTxn,
                                   uint32_t KeepLen, unsigned TargetTxn) {
-  Relation Causal = H.causalRelation();
+  const Relation &Causal = H.causalRelation();
   History Result;
   for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
     if (I == ReaderTxn) {
@@ -104,7 +106,7 @@ History txdpor::applySwap(const History &H, const Reordering &R,
   assert(H.txn(TIdx).writesVar(H.txn(R.ReaderTxn).event(R.ReadPos).Var) &&
          "swap target must write the read variable");
 
-  Relation Causal = H.causalRelation();
+  const Relation &Causal = H.causalRelation();
   assert(!Causal.get(R.ReaderTxn, TIdx) &&
          "reader and target must be causally unrelated");
   (void)Causal;
@@ -142,7 +144,7 @@ bool txdpor::isSwappedRead(const History &H, unsigned ReaderTxn,
 
   // (2) No transaction before r in both orders is a causal successor of
   // the writer.
-  Relation Causal = H.causalRelation();
+  const Relation &Causal = H.causalRelation();
   for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
     if (I >= ReaderTxn) // r < t' (or t' is the reader itself).
       continue;
@@ -162,7 +164,7 @@ bool txdpor::isSwappedRead(const History &H, unsigned ReaderTxn,
 
 bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
                          uint32_t ReadPos, unsigned TargetTxn,
-                         const ConsistencyChecker &Base) {
+                         const LevelAssignment &Base) {
   const TransactionLog &Reader = H.txn(ReaderTxn);
   VarId X = Reader.event(ReadPos).Var;
   std::optional<TxnUid> CurrentWriter = Reader.writerOf(ReadPos);
@@ -173,7 +175,16 @@ bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
   History Trunc = truncateKeepingCausalPast(H, ReaderTxn, ReadPos, TargetTxn);
   std::optional<unsigned> NewReader = Trunc.indexOf(Reader.uid());
   assert(NewReader && "reader prefix (at least begin) must remain");
-  Relation CausalT = Trunc.causalRelation();
+
+  // One incremental state for the truncation (its open transaction is the
+  // truncated reader, pending mid-order); every candidate is then a pure
+  // probe instead of a history copy plus a scratch consistency check.
+  ConstraintState State(Trunc, Base);
+  assert(State.consistent() &&
+         "truncations of a consistent history stay consistent (Thm. 3.2)");
+  assert(State.hasOpenTxn() && State.openTxn() == *NewReader &&
+         "the truncated reader must be the unique pending transaction");
+  const Relation &CausalT = State.causal();
 
   // Scan candidates from the <-latest downwards; the first consistent
   // causal-past writer is the maximum of the candidate set.
@@ -182,10 +193,7 @@ bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
       continue;
     if (!CausalT.get(U, *NewReader))
       continue;
-    History Extended = Trunc;
-    Extended.appendEvent(*NewReader, Event::makeRead(X));
-    Extended.setWriter(*NewReader, ReadPos, Trunc.txn(U).uid());
-    if (!Base.isConsistent(Extended))
+    if (!State.readAdmits(U, X))
       continue;
     return Trunc.txn(U).uid() == *CurrentWriter;
   }
@@ -193,18 +201,13 @@ bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
   return false;
 }
 
-bool txdpor::optimalityHolds(const History &H, const Reordering &R,
-                             const ConsistencyChecker &Base,
-                             bool CheckSwapped, bool CheckReadLatest,
-                             uint64_t *NumChecks, const OracleOrder &Order) {
+bool txdpor::optimalityRestrictionsHold(const History &H, const Reordering &R,
+                                        const LevelAssignment &Base,
+                                        bool CheckSwapped,
+                                        bool CheckReadLatest,
+                                        uint64_t *NumChecks,
+                                        const OracleOrder &Order) {
   unsigned TIdx = H.numTxns() - 1;
-
-  // The re-ordered history must satisfy the isolation level.
-  History Swapped = applySwap(H, R);
-  if (NumChecks)
-    ++*NumChecks;
-  if (!Base.isConsistent(Swapped))
-    return false;
   if (!CheckSwapped && !CheckReadLatest)
     return true;
 
@@ -231,7 +234,7 @@ bool txdpor::optimalityHolds(const History &H, const Reordering &R,
     if (Reader.writerOf(P) && !readOk(R.ReaderTxn, P))
       return false;
 
-  Relation Causal = H.causalRelation();
+  const Relation &Causal = H.causalRelation();
   for (unsigned I = R.ReaderTxn + 1; I != TIdx; ++I) {
     if (Causal.get(I, TIdx)) // Kept whole by Swap; not in D.
       continue;
@@ -240,4 +243,18 @@ bool txdpor::optimalityHolds(const History &H, const Reordering &R,
         return false;
   }
   return true;
+}
+
+bool txdpor::optimalityHolds(const History &H, const Reordering &R,
+                             const LevelAssignment &Base, bool CheckSwapped,
+                             bool CheckReadLatest, uint64_t *NumChecks,
+                             const OracleOrder &Order) {
+  // The re-ordered history must satisfy the base assignment.
+  History Swapped = applySwap(H, R);
+  if (NumChecks)
+    ++*NumChecks;
+  if (!ConstraintState(Swapped, Base).consistent())
+    return false;
+  return optimalityRestrictionsHold(H, R, Base, CheckSwapped,
+                                    CheckReadLatest, NumChecks, Order);
 }

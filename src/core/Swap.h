@@ -28,7 +28,7 @@
 #ifndef TXDPOR_CORE_SWAP_H
 #define TXDPOR_CORE_SWAP_H
 
-#include "consistency/ConsistencyChecker.h"
+#include "consistency/IsolationLevel.h"
 #include "history/History.h"
 
 #include <unordered_map>
@@ -109,17 +109,36 @@ bool isSwappedRead(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
 /// The readLatest_I(h<, r', t) predicate of §5.3: in the history truncated
 /// just before r' (keeping t and its causal predecessors whole), r''s
 /// current writer must be the <-latest transaction in the causal past of
-/// tr(r') from which r' could consistently read under \p Base.
-/// \p TargetTxn is the index of t in \p H.
+/// tr(r') from which r' could consistently read under the base assignment
+/// \p Base (a uniform assignment for the classic algorithm). One
+/// incremental ConstraintState is built for the truncation and every
+/// candidate writer is a readAdmits probe against it — the previous
+/// implementation copied and scratch-checked a whole history per
+/// candidate. \p TargetTxn is the index of t in \p H.
 bool readsLatest(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
-                 unsigned TargetTxn, const ConsistencyChecker &Base);
+                 unsigned TargetTxn, const LevelAssignment &Base);
 
-/// The Optimality(h<, r, t, locals) condition of §5.3. The ablation flags
-/// disable the two redundancy restrictions individually (soundness and
-/// completeness do not depend on them; optimality does).
-/// \p NumChecks, when provided, accumulates consistency-check counts.
+/// The §5.3 redundancy restrictions of Optimality — swapped(r'') and
+/// readLatest for every read in D ∪ {r} — *without* the consistency check
+/// of the swapped history itself. The engine calls this after it has
+/// already built (and kept, for the swap child) the swapped history's
+/// ConstraintState; optimalityHolds() below is the self-contained
+/// combination.
+bool optimalityRestrictionsHold(const History &H, const Reordering &R,
+                                const LevelAssignment &Base,
+                                bool CheckSwapped = true,
+                                bool CheckReadLatest = true,
+                                uint64_t *NumChecks = nullptr,
+                                const OracleOrder &Order = OracleOrder());
+
+/// The full Optimality(h<, r, t, locals) condition of §5.3: the swapped
+/// history satisfies the base assignment, and the restrictions above
+/// hold. The ablation flags disable the two redundancy restrictions
+/// individually (soundness and completeness do not depend on them;
+/// optimality does). \p NumChecks, when provided, accumulates
+/// consistency-check counts.
 bool optimalityHolds(const History &H, const Reordering &R,
-                     const ConsistencyChecker &Base, bool CheckSwapped = true,
+                     const LevelAssignment &Base, bool CheckSwapped = true,
                      bool CheckReadLatest = true,
                      uint64_t *NumChecks = nullptr,
                      const OracleOrder &Order = OracleOrder());

@@ -8,6 +8,7 @@
 #include "fuzz/DifferentialOracle.h"
 
 #include "consistency/BruteForceChecker.h"
+#include "consistency/IncrementalChecker.h"
 #include "consistency/SaturationChecker.h"
 #include "consistency/Witness.h"
 #include "core/Enumerate.h"
@@ -76,6 +77,8 @@ const char *txdpor::fuzz::disagreementKindName(Disagreement::Kind K) {
     return "checker-verdict-mismatch";
   case Disagreement::Kind::WitnessMismatch:
     return "witness-mismatch";
+  case Disagreement::Kind::IncrementalVerdictMismatch:
+    return "incremental-verdict-mismatch";
   }
   return "unknown";
 }
@@ -87,7 +90,8 @@ txdpor::fuzz::disagreementKindByName(const std::string &Name) {
         Disagreement::Kind::DuplicateOutput,
         Disagreement::Kind::StarFilterMismatch,
         Disagreement::Kind::CheckerVerdictMismatch,
-        Disagreement::Kind::WitnessMismatch})
+        Disagreement::Kind::WitnessMismatch,
+        Disagreement::Kind::IncrementalVerdictMismatch})
     if (Name == disagreementKindName(K))
       return K;
   return std::nullopt;
@@ -123,6 +127,53 @@ std::string diffSummary(const std::map<std::string, unsigned> &A,
   return OS.str();
 }
 
+/// True if \p H satisfies the ordered-history discipline ConstraintState
+/// requires (see consistency/IncrementalChecker.h): no pending
+/// transaction and every so ∪ wr edge forward in block order. Explorer
+/// outputs always qualify; raw generated histories usually do but are
+/// checked rather than assumed.
+bool incrementalEligible(const History &H) {
+  unsigned N = H.numTxns();
+  if (N == 0 || !H.txn(0).isInit())
+    return false;
+  for (unsigned I = 0; I != N; ++I)
+    if (H.txn(I).isPending())
+      return false;
+  const Relation &SoWr = H.soWrRelation();
+  for (unsigned A = 0; A != N; ++A) {
+    bool Forward = true;
+    SoWr.forEachSuccessor(A, [&](unsigned B) { Forward &= A < B; });
+    if (!Forward)
+      return false;
+  }
+  return true;
+}
+
+/// The incremental-vs-scratch diff of one history under one assignment
+/// (uniform or mixed): the leg that keeps the engine's carried
+/// ConstraintState honest against the reference saturation checkers.
+std::optional<Disagreement>
+diffIncremental(const History &H, const LevelAssignment &Levels) {
+  if (!Levels.allPrefixClosedCausallyExtensible())
+    return std::nullopt;
+  bool Incremental = ConstraintState(H, Levels).consistent();
+  bool Scratch = isConsistent(H, Levels);
+  if (Incremental == Scratch)
+    return std::nullopt;
+  Disagreement D;
+  D.K = Disagreement::Kind::IncrementalVerdictMismatch;
+  D.Level = Levels.strongest();
+  D.Culprit = H;
+  D.ProductionVerdict = Incremental;
+  D.ReferenceVerdict = Scratch;
+  D.Detail = std::string("incremental ConstraintState says ") +
+             (Incremental ? "consistent" : "inconsistent") +
+             ", scratch saturation says " +
+             (Scratch ? "consistent" : "inconsistent") + " under " +
+             Levels.str();
+  return D;
+}
+
 } // namespace
 
 void DifferentialOracle::checkOneHistory(
@@ -130,6 +181,16 @@ void DifferentialOracle::checkOneHistory(
     std::vector<Disagreement> &Out) const {
   if (Config.MaxBruteForceTxns && H.numTxns() > Config.MaxBruteForceTxns)
     return;
+  if (Config.CrossCheckIncremental && incrementalEligible(H)) {
+    for (IsolationLevel Level : Levels) {
+      if (!isPrefixClosedCausallyExtensible(Level) ||
+          Level == IsolationLevel::Trivial)
+        continue;
+      if (std::optional<Disagreement> D =
+              diffIncremental(H, LevelAssignment::uniform(Level)))
+        Out.push_back(std::move(*D));
+    }
+  }
   for (IsolationLevel Level : Levels) {
     bool Reference = BruteForceChecker(Level).isConsistent(H);
     if (Config.CrossCheckVerdicts) {
@@ -297,6 +358,22 @@ void DifferentialOracle::checkMixedSemantics(
   // Per-output verdict cross-check: the production mixed saturation
   // checker against the brute-force reference. Every output must also be
   // consistent under its own base assignment (explore-ce soundness).
+  // Mixed incremental leg: the shared ConstraintState core must agree
+  // with the scratch mixed checker on every mixed-base output. Runs
+  // independently of CrossCheckVerdicts (it guards the incremental/
+  // scratch equivalence, not the axiom semantics) and needs no
+  // brute-force affordability cap — both sides are polynomial.
+  if (Config.CrossCheckIncremental) {
+    for (const History &H : Ref.Histories) {
+      if (Out.size() >= 8)
+        break;
+      if (std::optional<Disagreement> D = diffIncremental(H, Resolved)) {
+        D->MixLevels = SessionLevels;
+        Out.push_back(std::move(*D));
+      }
+    }
+  }
+
   if (Config.CrossCheckVerdicts) {
     MixedSaturationChecker Production(Resolved);
     for (const History &H : Ref.Histories) {

@@ -85,6 +85,10 @@ struct Disagreement {
     /// findCommitOrder disagrees with the reference verdict, or its
     /// certificate fails validateCommitOrder.
     WitnessMismatch,
+    /// The incremental ConstraintState verdict differs from the scratch
+    /// SaturationChecker / MixedSaturationChecker on one history — the
+    /// leg that guards the carried-state optimization of the engine.
+    IncrementalVerdictMismatch,
   };
 
   Kind K = Kind::CheckerVerdictMismatch;
@@ -122,6 +126,13 @@ struct OracleConfig {
   bool DiffStarFilters = true;
   bool CrossCheckVerdicts = true;
   bool ValidateWitnesses = true;
+  /// Diff the incremental ConstraintState (the engine's carried commit
+  /// test) against the scratch saturation checkers on every checked
+  /// history that satisfies the ordered-history discipline the state
+  /// requires. Deliberately *not* subject to Mutation: this leg guards
+  /// the incremental/scratch equivalence itself, continuously, in the
+  /// nightly soak.
+  bool CrossCheckIncremental = true;
   /// Mixed-semantics legs for cases carrying a per-session level mix:
   /// run the explorers with the mix as the *base assignment* (per-session
   /// ValidWrites), diff the three drivers, and cross-check every mixed

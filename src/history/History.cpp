@@ -104,6 +104,7 @@ void History::setWriter(unsigned Idx, uint32_t Pos, TxnUid Writer) {
 
 unsigned History::appendLog(TransactionLog Log) {
   assert(!contains(Log.uid()) && "duplicate transaction uid");
+  invalidateRelationCaches();
   unsigned Idx = numTxns();
   IndexByUid.emplace(Log.uid().packed(), Idx);
   Logs.push_back(std::make_shared<TransactionLog>(std::move(Log)));
@@ -113,6 +114,7 @@ unsigned History::appendLog(TransactionLog Log) {
 unsigned History::appendLogShared(const History &Other, unsigned Idx) {
   assert(Idx < Other.Logs.size() && "transaction index out of range");
   assert(!contains(Other.txn(Idx).uid()) && "duplicate transaction uid");
+  invalidateRelationCaches();
   unsigned NewIdx = numTxns();
   IndexByUid.emplace(Other.txn(Idx).uid().packed(), NewIdx);
   Logs.push_back(Other.Logs[Idx]); // Refcount bump only; no event copy.
@@ -121,6 +123,7 @@ unsigned History::appendLogShared(const History &Other, unsigned Idx) {
 
 TransactionLog &History::mutableLog(unsigned Idx) {
   assert(Idx < Logs.size() && "transaction index out of range");
+  invalidateRelationCaches();
   LogPtr &P = Logs[Idx];
   // use_count() == 1 proves this history is the sole owner: any other
   // owner would hold its own reference. Under the single-owner mutation
@@ -143,11 +146,34 @@ bool History::soLess(unsigned A, unsigned B) const {
 }
 
 Relation History::soRelation() const {
-  Relation R(numTxns());
-  for (unsigned A = 0, E = numTxns(); A != E; ++A)
-    for (unsigned B = 0; B != E; ++B)
-      if (soLess(A, B))
-        R.set(A, B);
+  unsigned N = numTxns();
+  Relation R(N);
+  // Bucket by session instead of testing all N² pairs: within a bucket so
+  // relates exactly the Index-ascending pairs, and the initial
+  // transaction precedes everything else.
+  std::unordered_map<uint32_t, std::vector<unsigned>> BySession;
+  unsigned InitIdx = N; // N = no initial transaction present.
+  for (unsigned I = 0; I != N; ++I) {
+    const TxnUid U = Logs[I]->uid();
+    if (U.isInit()) {
+      InitIdx = I;
+      continue;
+    }
+    BySession[U.Session].push_back(I);
+  }
+  if (InitIdx != N)
+    for (unsigned B = 0; B != N; ++B)
+      if (B != InitIdx)
+        R.set(InitIdx, B);
+  for (auto &[Session, Txns] : BySession) {
+    (void)Session;
+    std::sort(Txns.begin(), Txns.end(), [this](unsigned A, unsigned B) {
+      return Logs[A]->uid().Index < Logs[B]->uid().Index;
+    });
+    for (size_t I = 0; I != Txns.size(); ++I)
+      for (size_t J = I + 1; J != Txns.size(); ++J)
+        R.set(Txns[I], Txns[J]);
+  }
   return R;
 }
 
@@ -167,14 +193,20 @@ Relation History::wrRelation() const {
   return R;
 }
 
-Relation History::soWrRelation() const {
-  return Relation::unionOf(soRelation(), wrRelation());
+const Relation &History::soWrRelation() const {
+  if (!CachedSoWr)
+    CachedSoWr = std::make_shared<const Relation>(
+        Relation::unionOf(soRelation(), wrRelation()));
+  return *CachedSoWr;
 }
 
-Relation History::causalRelation() const {
-  Relation R = soWrRelation();
-  R.closeTransitively();
-  return R;
+const Relation &History::causalRelation() const {
+  if (!CachedCausal) {
+    Relation R = soWrRelation();
+    R.closeTransitively();
+    CachedCausal = std::make_shared<const Relation>(std::move(R));
+  }
+  return *CachedCausal;
 }
 
 Value History::readValue(unsigned Idx, uint32_t Pos) const {

@@ -144,17 +144,30 @@ public:
   /// or both are in the same session with A's index smaller.
   bool soLess(unsigned A, unsigned B) const;
 
-  /// The session order as a relation over transaction indices.
+  /// The session order as a relation over transaction indices (bucketed
+  /// by session, O(N + pairs) instead of the old all-pairs double loop).
   Relation soRelation() const;
 
   /// The transaction-level write-read relation.
   Relation wrRelation() const;
 
-  /// (so ∪ wr) as a relation.
-  Relation soWrRelation() const;
+  /// (so ∪ wr) as a relation. Memoized on this value: the relation is
+  /// computed on first use and shared by subsequent calls (and by copies
+  /// of this history, which alias the same immutable cache) until the
+  /// next mutation invalidates it. The reference is valid until this
+  /// history is next mutated or destroyed; callers that outlive that
+  /// point must copy. Filling the cache writes a mutable member, so —
+  /// exactly like the standard-container contract above — concurrent
+  /// access to one History value requires external synchronization even
+  /// if all accesses are const.
+  const Relation &soWrRelation() const;
 
   /// The causal relation (so ∪ wr)+ (irreflexive transitive closure).
-  Relation causalRelation() const;
+  /// Memoized like soWrRelation(), with the same lifetime and threading
+  /// caveats. The swap machinery queries it many times per node
+  /// (computeReorderings, applySwap, swapped/readLatest); the memo makes
+  /// all of them one closure computation per history value.
+  const Relation &causalRelation() const;
 
   //===--------------------------------------------------------------------===
   // Value resolution
@@ -208,8 +221,22 @@ private:
   /// means no other History (hence no other thread) can reach the log.
   TransactionLog &mutableLog(unsigned Idx);
 
+  /// Drops the memoized relations; every mutator calls this. (Copies keep
+  /// sharing the parent's immutable cache until they mutate — the cache
+  /// is keyed to the spine identity by construction, since any operation
+  /// that changes the spine goes through a mutator.)
+  void invalidateRelationCaches() const {
+    CachedSoWr.reset();
+    CachedCausal.reset();
+  }
+
   std::vector<LogPtr> Logs; ///< In block (<) order; [0] is init.
   std::unordered_map<uint64_t, unsigned> IndexByUid;
+
+  /// Lazily-computed so ∪ wr and (so ∪ wr)+ of the current spine. Shared,
+  /// immutable once published; reset by every mutator.
+  mutable std::shared_ptr<const Relation> CachedSoWr;
+  mutable std::shared_ptr<const Relation> CachedCausal;
 };
 
 } // namespace txdpor

@@ -36,6 +36,7 @@
 #include "history/History.h"
 #include "program/Program.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace txdpor {
@@ -71,7 +72,71 @@ struct TxnCursor {
 };
 
 /// Cursor storage for all started transactions, keyed by packed TxnUid.
-using CursorMap = std::unordered_map<uint64_t, TxnCursor>;
+///
+/// A flat small-map: a key-sorted vector with binary search. The explorer
+/// copies the whole map on every read branch of the ValidWrites loop, and
+/// the handful of live transactions (at most sessions × txns, typically
+/// under twenty) makes one contiguous allocation both faster to copy and
+/// smaller than the previous std::unordered_map's bucket forest (ROADMAP
+/// PR-2 follow-up). Iteration order is ascending by key, i.e.
+/// deterministic — unlike the unordered_map it replaces.
+class CursorMap {
+public:
+  using value_type = std::pair<uint64_t, TxnCursor>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  CursorMap() = default;
+
+  /// The cursor of \p Key, default-constructed and inserted if absent.
+  TxnCursor &operator[](uint64_t Key) {
+    auto It = lower(Key);
+    if (It == Entries.end() || It->first != Key)
+      It = Entries.insert(It, {Key, TxnCursor()});
+    return It->second;
+  }
+
+  /// The cursor of \p Key, which must be present.
+  const TxnCursor &at(uint64_t Key) const {
+    auto It = lower(Key);
+    assert(It != Entries.end() && It->first == Key &&
+           "no cursor for this transaction");
+    return It->second;
+  }
+
+  const_iterator find(uint64_t Key) const {
+    auto It = lower(Key);
+    return It != Entries.end() && It->first == Key
+               ? const_iterator(It)
+               : Entries.end();
+  }
+  size_t count(uint64_t Key) const { return find(Key) != end() ? 1 : 0; }
+
+  /// Inserts (\p Key, \p Cur) if \p Key is absent (map::emplace semantics).
+  void emplace(uint64_t Key, TxnCursor Cur) {
+    auto It = lower(Key);
+    if (It == Entries.end() || It->first != Key)
+      Entries.insert(It, {Key, std::move(Cur)});
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+
+private:
+  std::vector<value_type>::iterator lower(uint64_t Key) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const value_type &E, uint64_t K) { return E.first < K; });
+  }
+  std::vector<value_type>::const_iterator lower(uint64_t Key) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const value_type &E, uint64_t K) { return E.first < K; });
+  }
+
+  std::vector<value_type> Entries; ///< Ascending by key.
+};
 
 /// Runs local steps of \p Code from \p Cur until the next database
 /// operation (or the implicit commit at the end of the body) and returns

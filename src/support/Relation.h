@@ -56,6 +56,17 @@ public:
     row(From)[To / 64] &= ~(uint64_t(1) << (To % 64));
   }
 
+  /// Adds every successor of \p Src to the successors of \p Dst (one
+  /// word-parallel row union — the kernel of incremental transitive
+  /// closure maintenance).
+  void orRow(unsigned Dst, unsigned Src) {
+    assert(Dst < NumElems && Src < NumElems && "relation index out of range");
+    uint64_t *D = row(Dst);
+    const uint64_t *S = row(Src);
+    for (unsigned W = 0; W != WordsPerRow; ++W)
+      D[W] |= S[W];
+  }
+
   /// Adds every pair of \p Other into this relation. Universes must match.
   void unionWith(const Relation &Other) {
     assert(Other.NumElems == NumElems && "universe mismatch in unionWith");

@@ -27,8 +27,8 @@ namespace {
 constexpr VarId X = 0;
 constexpr VarId Y = 1;
 
-const ConsistencyChecker &cc() {
-  return checkerFor(IsolationLevel::CausalConsistency);
+LevelAssignment cc() {
+  return LevelAssignment::uniform(IsolationLevel::CausalConsistency);
 }
 } // namespace
 
@@ -290,7 +290,7 @@ TEST(OptimalityTest, RejectsInconsistentSwapResult) {
   // reader reads x from t1.0 — consistent under CC; optimality holds.
   EXPECT_TRUE(optimalityHolds(H, {2, 1}, cc()));
   History Swapped = applySwap(H, {2, 1});
-  EXPECT_TRUE(cc().isConsistent(Swapped));
+  EXPECT_TRUE(isConsistent(Swapped, IsolationLevel::CausalConsistency));
 }
 
 TEST(OptimalityTest, AblationFlagsDisableChecks) {

@@ -716,6 +716,15 @@ int main(int Argc, char **Argv) {
             << Stats.ExploreCalls << " explore calls, "
             << Stats.SwapsApplied << " swaps, " << Stats.ElapsedMillis
             << " ms" << (Stats.TimedOut ? " (timed out)" : "") << '\n';
+  // The commit-test rate: the counter the incremental ConstraintState
+  // optimizes, and the per-PR trajectory metric in docs/BENCHMARKS.md.
+  if (Stats.ElapsedMillis > 0) {
+    double ChecksPerSec =
+        static_cast<double>(Stats.ConsistencyChecks) * 1000.0 /
+        Stats.ElapsedMillis;
+    std::cout << "consistency checks: " << Stats.ConsistencyChecks << " ("
+              << static_cast<uint64_t>(ChecksPerSec) << "/s)\n";
+  }
 
   if (Options.Classify) {
     std::cout << "classification against "
