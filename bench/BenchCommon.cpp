@@ -8,8 +8,11 @@
 #include "BenchCommon.h"
 
 #include "parallel/ParallelExplorer.h"
+#include "support/Json.h"
 
 #include <cstdlib>
+#include <ctime>
+#include <thread>
 
 using namespace txdpor;
 using namespace txdpor::bench;
@@ -119,4 +122,33 @@ txdpor::bench::makeBenchmarkPrograms(unsigned Sessions, unsigned Txns) {
 
 std::string txdpor::bench::formatCount(uint64_t N) {
   return std::to_string(N);
+}
+
+void txdpor::bench::writeHostMetadata(JsonWriter &J) {
+  J.key("host").beginObject();
+  J.key("hardware_concurrency")
+      .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__) && defined(__clang__)
+  J.key("compiler").value(std::string("clang ") + __VERSION__);
+#elif defined(__VERSION__)
+  J.key("compiler").value(std::string("gcc ") + __VERSION__);
+#else
+  J.key("compiler").value("unknown");
+#endif
+#ifdef TXDPOR_BUILD_TYPE
+  J.key("build_type").value(TXDPOR_BUILD_TYPE);
+#else
+  J.key("build_type").value("unknown");
+#endif
+#ifdef NDEBUG
+  J.key("assertions").value(false);
+#else
+  J.key("assertions").value(true);
+#endif
+  std::time_t Now = std::time(nullptr);
+  char Stamp[32] = "unknown";
+  if (std::tm *Utc = std::gmtime(&Now))
+    std::strftime(Stamp, sizeof(Stamp), "%Y-%m-%dT%H:%M:%SZ", Utc);
+  J.key("timestamp_utc").value(Stamp);
+  J.endObject();
 }

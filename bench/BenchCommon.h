@@ -28,6 +28,9 @@
 #include <vector>
 
 namespace txdpor {
+
+class JsonWriter;
+
 namespace bench {
 
 /// One of the evaluation's algorithms: an explorer configuration or the
@@ -105,6 +108,12 @@ std::vector<NamedProgram> makeBenchmarkPrograms(unsigned Sessions,
 
 /// Formats a count, or "-" for zero-when-timed-out placeholders.
 std::string formatCount(uint64_t N);
+
+/// Emits a "host" object member into the JSON object currently open on
+/// \p J: hardware_concurrency, compiler, build type and a UTC timestamp —
+/// the provenance block every BENCH_*.json carries so numbers from
+/// different machines/builds are never compared blind.
+void writeHostMetadata(JsonWriter &J);
 
 } // namespace bench
 } // namespace txdpor

@@ -24,10 +24,13 @@
 
 #include "consistency/ConsistencyChecker.h"
 #include "consistency/IncrementalChecker.h"
+#include "BenchCommon.h"
+
 #include "consistency/SaturationChecker.h"
 #include "history/History.h"
 #include "support/Json.h"
 #include "support/Rng.h"
+#include "trace/Counters.h"
 
 #include <benchmark/benchmark.h>
 
@@ -244,6 +247,7 @@ void dumpConsistencyJson() {
   J.beginObject();
   J.key("bench").value("consistency_micro");
   J.key("metric").value("CC ValidWrites commit tests per second");
+  bench::writeHostMetadata(J);
   J.key("runs").beginArray();
   for (unsigned Txns : {8u, 16u}) {
     double Scratch = checksPerSecond(Txns, /*Incremental=*/false);
@@ -260,6 +264,11 @@ void dumpConsistencyJson() {
               << Incremental / Scratch << "x)\n";
   }
   J.endArray();
+  // Process-lifetime trace counters: bulk_rebuilds counts the scratch
+  // ConstraintState constructions the incremental path avoids.
+  J.key("counters").beginObject();
+  trace::writeCounters(J);
+  J.endObject();
   J.endObject();
   OS << '\n';
   std::cout << "wrote " << Path << '\n';

@@ -24,6 +24,7 @@
 #include "fuzz/Fuzzer.h"
 #include "support/Deadline.h"
 #include "support/Json.h"
+#include "trace/Counters.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -109,6 +110,7 @@ int main() {
   J.beginObject();
   J.key("bench").value("fuzz_throughput");
   J.key("budget_ms").value(static_cast<int64_t>(BudgetMs));
+  writeHostMetadata(J);
   J.key("cells").beginArray();
   for (const Cell &C : Cells) {
     J.beginObject();
@@ -120,6 +122,11 @@ int main() {
     J.endObject();
   }
   J.endArray();
+  // Process-lifetime trace counters: fuzz_cases cross-checks the summed
+  // cells; the rest records how much explorer work the oracle legs did.
+  J.key("counters").beginObject();
+  trace::writeCounters(J);
+  J.endObject();
   J.endObject();
   OS << '\n';
   std::cout << "\nwrote " << Path << '\n';

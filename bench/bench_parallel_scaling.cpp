@@ -154,6 +154,7 @@ int main() {
   J.key("algorithm").value("explore-ce(CC)");
   J.key("budget_ms").value(static_cast<int64_t>(Budget));
   J.key("hardware_threads").value(std::thread::hardware_concurrency());
+  writeHostMetadata(J);
   J.key("runs").beginArray();
   for (const ScalingRun &Run : Runs) {
     J.beginObject();
@@ -169,6 +170,10 @@ int main() {
     J.key("mem_kb").value(Run.Result.memKb());
     J.key("explore_calls").value(Run.Result.Stats.ExploreCalls);
     J.key("swaps_applied").value(Run.Result.Stats.SwapsApplied);
+    J.key("frontier_items").value(Run.Result.Stats.FrontierItems);
+    J.key("steal_successes").value(Run.Result.Stats.StealSuccesses);
+    J.key("steal_failures").value(Run.Result.Stats.StealFailures);
+    J.key("idle_parks").value(Run.Result.Stats.IdleParks);
     J.endObject();
   }
   J.endArray();

@@ -7,6 +7,9 @@
 
 #include "consistency/IncrementalChecker.h"
 
+#include "trace/Counters.h"
+#include "trace/Trace.h"
+
 #include <algorithm>
 
 using namespace txdpor;
@@ -298,6 +301,8 @@ ConstraintState::ConstraintState(const History &H,
     : Levels(Levels) {
   assert(this->Levels.allPrefixClosedCausallyExtensible() &&
          "the incremental commit test covers the saturable levels only");
+  TXDPOR_TRACE_SPAN(Check, BulkRebuild, H.numTxns());
+  trace::bump(trace::Counter::BulkRebuilds);
   const unsigned N = H.numTxns();
   assert(N >= 1 && H.txn(0).isInit() &&
          "history must start with the initial transaction");

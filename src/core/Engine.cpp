@@ -8,6 +8,8 @@
 #include "core/Engine.h"
 
 #include "consistency/SaturationChecker.h"
+#include "trace/Counters.h"
+#include "trace/Trace.h"
 
 using namespace txdpor;
 
@@ -151,6 +153,7 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     S.Stats.MaxDepth = Item.Depth;
   if (shouldStop(S))
     return;
+  TXDPOR_TRACE_SPAN(Explore, ExpandItem, Item.Depth);
   if (S.OnExplore)
     S.OnExplore(Item.H);
 
@@ -205,9 +208,13 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // per-variable committed-writer index (same ascending block order as
     // History::committedWriters). Debug builds re-derive every verdict
     // with the scratch checker, so any drift aborts the exploration.
+    TXDPOR_TRACE_SPAN_NAMED(ValidWritesSpan, Explore, ValidWrites,
+                            Next.Op.Var);
+    uint64_t Probes = 0;
     std::vector<unsigned> Candidates;
     CState.forEachCommittedWriter(Next.Op.Var, [&](unsigned W) {
       ++S.Stats.ConsistencyChecks;
+      ++Probes;
       bool Admits = CState.readAdmits(W, Next.Op.Var);
 #ifndef NDEBUG
       History Probe = H;
@@ -218,6 +225,8 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
       if (Admits)
         Candidates.push_back(W);
     });
+    trace::bump(trace::Counter::ValidWritesProbes, Probes);
+    ValidWritesSpan.setArgs(Next.Op.Var, Probes);
     if (Candidates.empty()) {
       // Cannot happen for causally-extensible base levels (§3.2); counted
       // to let tests assert strong optimality.
@@ -296,7 +305,10 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // doubles as the Optimality consistency check and is handed to the
     // child, which probes its next read against it directly.
     std::vector<WorkItem> SwapChildren;
-    for (const Reordering &R : computeReorderings(H)) {
+    std::vector<Reordering> Reorderings = computeReorderings(H);
+    TXDPOR_TRACE_SPAN(Swap, CommitFanout, Reorderings.size());
+    for (const Reordering &R : Reorderings) {
+      TXDPOR_TRACE_SPAN(Swap, SwapChild, R.ReaderTxn, R.ReadPos);
       ++S.Stats.SwapsConsidered;
       unsigned FirstChanged = 0;
       History Swapped = applySwap(H, R, &FirstChanged);
@@ -311,6 +323,7 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
                                       &S.Stats.ConsistencyChecks, Order))
         continue;
       ++S.Stats.SwapsApplied;
+      trace::bump(trace::Counter::SwapChildrenBuilt);
       CursorMap SwapCursors =
           replayCursorsFrom(Prog, Swapped, Cursors, FirstChanged);
       SwapChildren.push_back({std::move(Swapped), std::move(SwapCursors),

@@ -40,6 +40,10 @@ void ExplorerStats::merge(const ExplorerStats &Other) {
   SwapsApplied += Other.SwapsApplied;
   ConsistencyChecks += Other.ConsistencyChecks;
   MaxDepth = std::max(MaxDepth, Other.MaxDepth);
+  StealSuccesses += Other.StealSuccesses;
+  StealFailures += Other.StealFailures;
+  IdleParks += Other.IdleParks;
+  FrontierItems += Other.FrontierItems;
   TimedOut = TimedOut || Other.TimedOut;
   HitEndStateCap = HitEndStateCap || Other.HitEndStateCap;
   ElapsedMillis += Other.ElapsedMillis;

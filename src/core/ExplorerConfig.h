@@ -152,6 +152,15 @@ struct ExplorerStats {
   uint64_t SwapsApplied = 0;
   uint64_t ConsistencyChecks = 0;
   uint64_t MaxDepth = 0;
+  /// Parallel-driver observability (zero for sequential runs): successful
+  /// and failed steal sweeps (a failed sweep = one full pass over every
+  /// sibling queue without finding work), idle parks (sleeps after the
+  /// yield budget is spent), and the frontier size the split phase handed
+  /// to the workers.
+  uint64_t StealSuccesses = 0;
+  uint64_t StealFailures = 0;
+  uint64_t IdleParks = 0;
+  uint64_t FrontierItems = 0;
   bool TimedOut = false;
   bool HitEndStateCap = false;
   double ElapsedMillis = 0;

@@ -8,6 +8,8 @@
 #include "core/Swap.h"
 
 #include "consistency/IncrementalChecker.h"
+#include "trace/Counters.h"
+#include "trace/Trace.h"
 
 using namespace txdpor;
 
@@ -165,6 +167,8 @@ bool txdpor::isSwappedRead(const History &H, unsigned ReaderTxn,
 bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
                          uint32_t ReadPos, unsigned TargetTxn,
                          const LevelAssignment &Base) {
+  TXDPOR_TRACE_SPAN(Check, ReadsLatest, ReaderTxn, ReadPos);
+  trace::bump(trace::Counter::ReadsLatestChecks);
   const TransactionLog &Reader = H.txn(ReaderTxn);
   VarId X = Reader.event(ReadPos).Var;
   std::optional<TxnUid> CurrentWriter = Reader.writerOf(ReadPos);

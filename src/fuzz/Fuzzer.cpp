@@ -9,6 +9,8 @@
 
 #include "fuzz/Minimizer.h"
 #include "support/Deadline.h"
+#include "trace/Counters.h"
+#include "trace/Trace.h"
 
 #include <filesystem>
 #include <fstream>
@@ -79,6 +81,8 @@ FuzzReport txdpor::fuzz::runFuzz(const FuzzOptions &Options) {
       break;
     }
     ++Report.Cases;
+    TXDPOR_TRACE_SPAN(Fuzz, FuzzCase, Case);
+    trace::bump(trace::Counter::FuzzCases);
     Rng R(Rng::deriveSeed(Options.Seed, Case));
     bool HistoryCase = R.chance(Options.HistoryCasePercent, 100);
 

@@ -9,10 +9,13 @@
 
 #include "parallel/WorkQueue.h"
 #include "support/MemoryProbe.h"
+#include "trace/Counters.h"
+#include "trace/Trace.h"
 
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 using namespace txdpor;
@@ -84,6 +87,7 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
   const size_t Target =
       static_cast<size_t>(Config.SplitFactor ? Config.SplitFactor : 1) *
       NumThreads;
+  TXDPOR_TRACE_SPAN_NAMED(SplitSpan, Parallel, SplitPhase, NumThreads);
   std::deque<WorkItem> Frontier;
   Frontier.push_back(Engine.initialItem());
   std::vector<WorkItem> Ready; // Depth-capped items, excluded from splitting.
@@ -104,6 +108,9 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
   }
   for (WorkItem &Item : Frontier)
     Ready.push_back(std::move(Item));
+  SplitSpan.setArgs(Ready.size(), NumThreads);
+  SplitSpan.end();
+  MainSink.Stats.FrontierItems = Ready.size();
 
   //===--------------------------------------------------------------------===
   // Phase 2 — shard: deal the frontier round-robin onto per-worker deques.
@@ -125,6 +132,8 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
 
   std::vector<ExplorerStats> WorkerStats(NumThreads);
   auto Worker = [&](unsigned Me) {
+    trace::setThreadName("worker-" + std::to_string(Me));
+    TXDPOR_TRACE_SPAN(Parallel, Worker, Me);
     ExplorationSink S = makeSink();
     WorkQueue &Own = *Queues[Me];
     std::vector<WorkItem> Kids;
@@ -134,22 +143,33 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
       if (Engine.shouldStop(S))
         break;
       bool Got = Own.tryPopBottom(Item);
+      bool Stolen = false;
       for (unsigned I = 1; I != NumThreads && !Got; ++I)
-        Got = Queues[(Me + I) % NumThreads]->trySteal(Item);
+        Got = Stolen = Queues[(Me + I) % NumThreads]->trySteal(Item);
+      if (Stolen) {
+        ++S.Stats.StealSuccesses;
+        TXDPOR_TRACE_INSTANT(Parallel, Steal, Me);
+      }
       if (!Got) {
+        ++S.Stats.StealFailures;
         if (Pending.load(std::memory_order_acquire) == 0)
           break;
         // Yield through short droughts (steal latency matters there), but
         // back off to sleeping once a long imbalanced tail is likely, so
         // idle workers stop burning cores while one drains a linear
         // subtree.
-        if (++IdleRounds < 64)
+        if (++IdleRounds < 64) {
           std::this_thread::yield();
-        else
+        } else {
+          ++S.Stats.IdleParks;
+          TXDPOR_TRACE_SPAN(Parallel, Idle, Me);
           std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
         continue;
       }
       IdleRounds = 0;
+      TXDPOR_TRACE_COUNTER(Parallel, Pending,
+                           Pending.load(std::memory_order_relaxed));
       Kids.clear();
       Engine.expandItem(std::move(Item), Kids, S);
       if (!Kids.empty()) {
@@ -161,6 +181,9 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
       }
       Pending.fetch_sub(1, std::memory_order_release);
     }
+    trace::bump(trace::Counter::StealSuccesses, S.Stats.StealSuccesses);
+    trace::bump(trace::Counter::StealFailures, S.Stats.StealFailures);
+    trace::bump(trace::Counter::IdleParks, S.Stats.IdleParks);
     WorkerStats[Me] = S.Stats;
   };
 

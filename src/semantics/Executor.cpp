@@ -7,6 +7,8 @@
 
 #include "semantics/Executor.h"
 
+#include "trace/Trace.h"
+
 using namespace txdpor;
 
 DbOp txdpor::advanceToDbOp(const Transaction &Code, TxnCursor &Cur) {
@@ -95,6 +97,7 @@ CursorMap txdpor::replayAllCursors(const Program &P, const History &H) {
 CursorMap txdpor::replayCursorsFrom(const Program &P, const History &H,
                                     const CursorMap &Prev,
                                     unsigned FirstDirtyTxn) {
+  TXDPOR_TRACE_SPAN(Replay, ReplayCursors, FirstDirtyTxn, H.numTxns());
   CursorMap Cursors;
   for (unsigned I = 0, E = H.numTxns(); I != E; ++I) {
     if (H.txn(I).isInit())

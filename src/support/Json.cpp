@@ -8,8 +8,11 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace txdpor;
 
@@ -138,6 +141,18 @@ JsonWriter &JsonWriter::value(double V) {
   return *this;
 }
 
+JsonWriter &JsonWriter::valueFixed(double V, int Decimals) {
+  beforeValue();
+  if (std::isfinite(V)) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+    OS << Buf;
+  } else {
+    OS << "null"; // JSON has no Inf/NaN.
+  }
+  return *this;
+}
+
 JsonWriter &JsonWriter::value(uint64_t V) {
   beforeValue();
   OS << V;
@@ -154,4 +169,310 @@ JsonWriter &JsonWriter::value(bool V) {
   beforeValue();
   OS << (V ? "true" : "false");
   return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue / parseJson — the minimal reader
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::makeArray() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::makeObject() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over the RFC 8259 grammar. Depth-bounded so
+/// adversarial nesting cannot overflow the C++ stack.
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  std::unique_ptr<JsonValue> run(std::string *Error) {
+    auto Root = std::make_unique<JsonValue>();
+    if (!parseValue(*Root, 0)) {
+      report(Error);
+      return nullptr;
+    }
+    skipWhitespace();
+    if (Pos != Text.size()) {
+      Err = "trailing characters after the document";
+      report(Error);
+      return nullptr;
+    }
+    return Root;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 256;
+
+  void report(std::string *Error) {
+    if (Error)
+      *Error = Err + " (at offset " + std::to_string(Pos) + ")";
+  }
+
+  void skipWhitespace() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const char *Message) {
+    Err = Message;
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // Opening quote.
+    Out.clear();
+    while (Pos != Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos];
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (++Pos == Text.size())
+        return fail("unterminated escape");
+      switch (Text[Pos]) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 >= Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos + 1 + I];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        Pos += 4;
+        // UTF-8-encode the code point (surrogate pairs are passed through
+        // individually — the writer never emits them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+      ++Pos;
+    }
+    if (Pos == Text.size())
+      return fail("unterminated string");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos != Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    char *End = nullptr;
+    std::string Token = Text.substr(Start, Pos - Start);
+    double V = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size() || Token.empty())
+      return fail("malformed number");
+    Out = JsonValue::makeNumber(V);
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWhitespace();
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      Out = JsonValue::makeObject();
+      skipWhitespace();
+      if (Pos != Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipWhitespace();
+        if (Pos == Text.size() || Text[Pos] != '"')
+          return fail("expected object key");
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWhitespace();
+        if (Pos == Text.size() || Text[Pos] != ':')
+          return fail("expected ':' after key");
+        ++Pos;
+        JsonValue Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        Out.members().emplace_back(std::move(Key), std::move(Member));
+        skipWhitespace();
+        if (Pos == Text.size())
+          return fail("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++Pos;
+      Out = JsonValue::makeArray();
+      skipWhitespace();
+      if (Pos != Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue Elem;
+        if (!parseValue(Elem, Depth + 1))
+          return false;
+        Out.elements().push_back(std::move(Elem));
+        skipWhitespace();
+        if (Pos == Text.size())
+          return fail("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::makeBool(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = JsonValue();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue> txdpor::parseJson(const std::string &Text,
+                                             std::string *Error) {
+  return JsonParser(Text).run(Error);
 }

@@ -9,8 +9,9 @@
 /// A small streaming JSON writer so the bench harnesses can dump their
 /// tables in a machine-readable form next to the human-readable ones
 /// (e.g. bench_parallel_scaling's BENCH_parallel.json) and future PRs can
-/// track trajectories without scraping text tables. Emission only — this
-/// project never parses JSON.
+/// track trajectories without scraping text tables — plus a matching
+/// minimal reader (JsonValue / parseJson) used by the trace tests to
+/// validate the Chrome trace-event dumps the tracing layer emits.
 ///
 /// \code
 ///   JsonWriter J(OS);
@@ -28,8 +29,10 @@
 #define TXDPOR_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace txdpor {
@@ -51,6 +54,10 @@ public:
   JsonWriter &value(const std::string &V);
   JsonWriter &value(const char *V);
   JsonWriter &value(double V);
+  /// Emits \p V with exactly \p Decimals fraction digits ("%.*f") — for
+  /// values where %.6g would lose precision, e.g. the Chrome trace
+  /// exporter's microsecond timestamps late in a long run.
+  JsonWriter &valueFixed(double V, int Decimals);
   JsonWriter &value(uint64_t V);
   JsonWriter &value(int64_t V);
   JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
@@ -71,6 +78,56 @@ private:
   std::vector<bool> HasElement;
   bool PendingKey = false;
 };
+
+/// A parsed JSON document node: a tagged union over the six RFC 8259
+/// value kinds, with numbers held as double (ample for the trace dumps
+/// and bench files this project reads back).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray();
+  static JsonValue makeObject();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  /// Array elements (empty unless kind() == Array).
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  std::vector<JsonValue> &elements() { return Elems; }
+
+  /// Object members in document order (empty unless kind() == Object).
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  std::vector<std::pair<std::string, JsonValue>> &members() {
+    return Members;
+  }
+
+  /// First member named \p Key, or null when absent / not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+private:
+  Kind K;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Returns the root value, or nullptr with a
+/// position-annotated message in \p Error (when non-null).
+std::unique_ptr<JsonValue> parseJson(const std::string &Text,
+                                     std::string *Error = nullptr);
 
 } // namespace txdpor
 

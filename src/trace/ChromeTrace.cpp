@@ -1,0 +1,102 @@
+//===- trace/ChromeTrace.cpp - Chrome trace-event JSON export -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ChromeTrace.h"
+
+#include "support/Json.h"
+
+using namespace txdpor;
+using namespace txdpor::trace;
+
+namespace {
+
+/// Nanoseconds → the format's microsecond unit, fraction preserved.
+double toMicros(uint64_t Ns) { return static_cast<double>(Ns) / 1000.0; }
+
+void writeCommonFields(JsonWriter &J, const Record &R, uint32_t Tid) {
+  J.key("name").value(name(R.Id));
+  J.key("cat").value(categoryName(R.Cat));
+  J.key("pid").value(1u);
+  J.key("tid").value(Tid);
+  J.key("ts").valueFixed(toMicros(R.StartNs), 3);
+}
+
+} // namespace
+
+void txdpor::trace::writeChromeTrace(std::ostream &OS, const Snapshot &Snap,
+                                     const ChromeTraceOptions &Options) {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.key("traceEvents").beginArray();
+  for (const ThreadRecords &T : Snap.Threads) {
+    if (!T.ThreadName.empty()) {
+      J.beginObject();
+      J.key("name").value("thread_name");
+      J.key("ph").value("M");
+      J.key("pid").value(1u);
+      J.key("tid").value(T.Tid);
+      J.key("args").beginObject().key("name").value(T.ThreadName).endObject();
+      J.endObject();
+    }
+    for (const Record &R : T.Records) {
+      J.beginObject();
+      switch (R.Kind) {
+      case RecordKind::Span:
+        writeCommonFields(J, R, T.Tid);
+        J.key("ph").value("X");
+        // Clamp to the span's own start: steady_clock is monotone, but a
+        // zero-length span must not serialize a negative duration.
+        J.key("dur").valueFixed(
+            toMicros(R.EndNs > R.StartNs ? R.EndNs - R.StartNs : 0), 3);
+        J.key("args")
+            .beginObject()
+            .key("a0")
+            .value(R.Arg0)
+            .key("a1")
+            .value(R.Arg1)
+            .endObject();
+        break;
+      case RecordKind::Instant:
+        writeCommonFields(J, R, T.Tid);
+        J.key("ph").value("i");
+        J.key("s").value("t"); // Thread-scoped instant.
+        J.key("args")
+            .beginObject()
+            .key("a0")
+            .value(R.Arg0)
+            .key("a1")
+            .value(R.Arg1)
+            .endObject();
+        break;
+      case RecordKind::Counter:
+        writeCommonFields(J, R, T.Tid);
+        J.key("ph").value("C");
+        J.key("args").beginObject().key("value").value(R.Arg0).endObject();
+        break;
+      }
+      J.endObject();
+    }
+  }
+  J.endArray();
+  J.key("displayTimeUnit").value("ms");
+  J.key("otherData").beginObject();
+  J.key("tool").value("txdpor");
+  J.key("dropped_records").value(Snap.totalDropped());
+  J.key("ring_capacity_per_thread")
+      .value(static_cast<uint64_t>(Snap.CapacityPerThread));
+  if (!Options.Counters.empty()) {
+    J.key("counters").beginObject();
+    for (const auto &[Name, Value] : Options.Counters)
+      J.key(Name).value(Value);
+    J.endObject();
+  }
+  for (const auto &[Key, Value] : Options.Metadata)
+    J.key(Key).value(Value);
+  J.endObject();
+  J.endObject();
+  OS << '\n';
+}

@@ -1,0 +1,50 @@
+//===- trace/ChromeTrace.h - Chrome trace-event JSON export ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a trace::Snapshot as Chrome trace-event JSON (the JSON
+/// Object Format: {"traceEvents": [...], ...}), directly loadable in
+/// chrome://tracing and Perfetto. Spans become complete events ("ph":"X"),
+/// instants "i", counter samples "C"; every named thread additionally gets
+/// a thread_name metadata event so worker lanes are labeled in the UI.
+///
+/// Timestamps are microseconds (the format's unit) with nanosecond
+/// fraction preserved; args are emitted as {"a0": ..., "a1": ...}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_TRACE_CHROMETRACE_H
+#define TXDPOR_TRACE_CHROMETRACE_H
+
+#include "trace/Trace.h"
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace txdpor {
+namespace trace {
+
+/// Extra payload for the dump's "otherData" object.
+struct ChromeTraceOptions {
+  /// Named process-wide counters (trace/Counters.h counterSnapshot());
+  /// emitted under otherData.counters.
+  std::vector<std::pair<const char *, uint64_t>> Counters;
+  /// Free-form (key, value) metadata, e.g. the CLI's invocation summary.
+  std::vector<std::pair<std::string, std::string>> Metadata;
+};
+
+/// Writes \p Snap to \p OS as Chrome trace-event JSON. Always produces a
+/// valid document — an empty snapshot yields an empty traceEvents array.
+void writeChromeTrace(std::ostream &OS, const Snapshot &Snap,
+                      const ChromeTraceOptions &Options = {});
+
+} // namespace trace
+} // namespace txdpor
+
+#endif // TXDPOR_TRACE_CHROMETRACE_H

@@ -82,6 +82,37 @@ expect_accept --app tpcc --sessions 2 --txns 2 --levels S0=CC,S1=RC
 expect_accept --app tpcc --sessions 2 --txns 2 --levels CC,RC --threads 2
 expect_accept --app twitter --sessions 2 --txns 2 --mixed-workload
 
+# Tracing flags: bad output paths and category specs are rejected up
+# front (before the run burns its budget); --trace-categories is only
+# meaningful with --trace.
+expect_reject "cannot open" --sessions 2 --txns 1 --trace=/no/such/dir/t.json
+expect_reject "unknown trace category" \
+  --sessions 2 --txns 1 --trace=/tmp/cli_smoke_trace.$$.json \
+  --trace-categories=explore,bogus
+expect_reject "requires --trace" --sessions 2 --txns 1 --trace-categories=swap
+expect_reject "unknown trace category" fuzz --iters 1 \
+  --trace=/tmp/cli_smoke_trace.$$.json --trace-categories=fuzz,nope
+expect_reject "cannot open" fuzz --iters 1 --trace=/no/such/dir/t.json
+
+# A traced run must produce a non-empty JSON document (full validation
+# lives in tools/check_trace.py and the TraceTest suite); a category
+# filter that records nothing must still yield a valid file.
+trace_out="/tmp/cli_smoke_trace.$$.json"
+trap 'rm -f "$trace_out"' EXIT
+for categories in "" "--trace-categories=fuzz"; do
+  rm -f "$trace_out"
+  # shellcheck disable=SC2086  # $categories is intentionally word-split
+  expect_accept --app tpcc --sessions 2 --txns 2 --threads 2 \
+    --trace="$trace_out" $categories
+  if [ ! -s "$trace_out" ]; then
+    echo "FAIL: --trace $categories left '$trace_out' missing/empty" >&2
+    failures=$((failures + 1))
+  elif ! grep -q '"traceEvents"' "$trace_out"; then
+    echo "FAIL: '$trace_out' lacks a traceEvents array" >&2
+    failures=$((failures + 1))
+  fi
+done
+
 if [ "$failures" -ne 0 ]; then
   echo "cli_smoke: $failures assertion(s) failed" >&2
   exit 1

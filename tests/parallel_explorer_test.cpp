@@ -218,6 +218,7 @@ TEST(ParallelExplorerTest, StatsMergeAccumulates) {
   A.MaxDepth = 4;
   A.ElapsedMillis = 1.5;
   A.PeakRssKb = 100;
+  A.StealSuccesses = 2;
   ExplorerStats B;
   B.ExploreCalls = 5;
   B.EndStates = 2;
@@ -225,6 +226,10 @@ TEST(ParallelExplorerTest, StatsMergeAccumulates) {
   B.TimedOut = true;
   B.ElapsedMillis = 2.5;
   B.PeakRssKb = 50;
+  B.StealSuccesses = 3;
+  B.StealFailures = 7;
+  B.IdleParks = 1;
+  B.FrontierItems = 12;
   A.merge(B);
   EXPECT_EQ(A.ExploreCalls, 8u);
   EXPECT_EQ(A.EndStates, 3u);
@@ -233,4 +238,31 @@ TEST(ParallelExplorerTest, StatsMergeAccumulates) {
   EXPECT_FALSE(A.HitEndStateCap);
   EXPECT_DOUBLE_EQ(A.ElapsedMillis, 4.0);
   EXPECT_EQ(A.PeakRssKb, 100u);
+  EXPECT_EQ(A.StealSuccesses, 5u);
+  EXPECT_EQ(A.StealFailures, 7u);
+  EXPECT_EQ(A.IdleParks, 1u);
+  EXPECT_EQ(A.FrontierItems, 12u);
+}
+
+TEST(ParallelExplorerTest, SchedulingCountersReported) {
+  // A parallel run must report the frontier the split phase produced;
+  // sequential runs must leave every scheduling counter at zero. The
+  // steal/idle counts themselves are schedule-dependent (often zero on a
+  // single-core box), so only their plumbing — not their magnitude — is
+  // asserted here. The client must be big enough that the split phase
+  // doesn't drain the whole tree before reaching its frontier target.
+  Program P = makeClientProgram(AppKind::Tpcc, {/*Sessions=*/4,
+                                                /*TxnsPerSession=*/3});
+  ExplorerConfig Config =
+      ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+  ExplorerStats Sequential = exploreProgramParallel(P, Config);
+  EXPECT_EQ(Sequential.FrontierItems, 0u);
+  EXPECT_EQ(Sequential.StealSuccesses, 0u);
+  EXPECT_EQ(Sequential.StealFailures, 0u);
+  EXPECT_EQ(Sequential.IdleParks, 0u);
+
+  Config.Threads = 4;
+  ExplorerStats Parallel = exploreProgramParallel(P, Config);
+  EXPECT_GT(Parallel.FrontierItems, 0u);
+  EXPECT_EQ(Parallel.EndStates, Sequential.EndStates);
 }

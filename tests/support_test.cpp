@@ -338,3 +338,82 @@ TEST(JsonWriterTest, EscapesStrings) {
   EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
 }
+
+TEST(JsonWriterTest, ValueFixedKeepsFractionDigits) {
+  std::ostringstream OS;
+  JsonWriter J(OS);
+  // %.6g would render 10000000.125 as 1e+07; the trace exporter needs
+  // the microsecond timestamp exact.
+  J.beginArray().valueFixed(10000000.125, 3).valueFixed(0.5, 3).endArray();
+  EXPECT_NE(OS.str().find("10000000.125"), std::string::npos) << OS.str();
+  EXPECT_NE(OS.str().find("0.500"), std::string::npos) << OS.str();
+  EXPECT_EQ(OS.str().find("e+"), std::string::npos) << OS.str();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_EQ(parseJson("null")->kind(), JsonValue::Kind::Null);
+  EXPECT_TRUE(parseJson("true")->asBool());
+  EXPECT_FALSE(parseJson("false")->asBool());
+  EXPECT_DOUBLE_EQ(parseJson("-12.5e2")->asNumber(), -1250.0);
+  EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+}
+
+TEST(JsonParseTest, NestedContainersAndLookup) {
+  std::unique_ptr<JsonValue> Doc =
+      parseJson("{\"a\": [1, 2, {\"b\": true}], \"c\": \"x\"}");
+  ASSERT_TRUE(Doc);
+  const JsonValue *A = Doc->find("a");
+  ASSERT_TRUE(A && A->kind() == JsonValue::Kind::Array);
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(A->elements()[1].asNumber(), 2.0);
+  EXPECT_TRUE(A->elements()[2].find("b")->asBool());
+  EXPECT_EQ(Doc->find("c")->asString(), "x");
+  EXPECT_EQ(Doc->find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parseJson("\"a\\\"b\\\\c\\nd\"")->asString(), "a\"b\\c\nd");
+  // \u00e9 is é (U+00E9) in UTF-8.
+  EXPECT_EQ(parseJson("\"\\u00e9\"")->asString(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  std::ostringstream OS;
+  JsonWriter J(OS);
+  J.beginObject()
+      .key("n")
+      .value(uint64_t(123))
+      .key("s")
+      .value("a\"b")
+      .key("xs")
+      .beginArray()
+      .value(true)
+      .value(int64_t(-4))
+      .endArray()
+      .endObject();
+  std::string Error;
+  std::unique_ptr<JsonValue> Doc = parseJson(OS.str(), &Error);
+  ASSERT_TRUE(Doc) << Error;
+  EXPECT_DOUBLE_EQ(Doc->find("n")->asNumber(), 123.0);
+  EXPECT_EQ(Doc->find("s")->asString(), "a\"b");
+  EXPECT_DOUBLE_EQ(Doc->find("xs")->elements()[1].asNumber(), -4.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseJson("", &Error));
+  EXPECT_FALSE(parseJson("{", &Error));
+  EXPECT_FALSE(parseJson("[1,]", &Error));
+  EXPECT_FALSE(parseJson("{\"a\" 1}", &Error));
+  EXPECT_FALSE(parseJson("tru", &Error));
+  EXPECT_FALSE(parseJson("1 2", &Error)); // Trailing garbage.
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(JsonParseTest, DepthBounded) {
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  std::string Error;
+  EXPECT_FALSE(parseJson(Deep, &Error));
+  EXPECT_NE(Error.find("deep"), std::string::npos);
+}

@@ -37,10 +37,13 @@
 #include "parallel/ParallelExplorer.h"
 #include "support/Parse.h"
 #include "support/TablePrinter.h"
+#include "trace/ChromeTrace.h"
+#include "trace/Counters.h"
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 using namespace txdpor;
 
@@ -69,7 +72,90 @@ struct CliOptions {
   bool Minimize = false;
   std::string DotFile;
   std::string SaveFile;
+  std::string TraceFile;
+  std::string TraceCategories;
 };
+
+/// RAII tracing session shared by both verbs: `--trace FILE` opens FILE
+/// up front (a bad path is a diagnostic before any exploration runs),
+/// enables the selected categories, and dumps Chrome trace-event JSON on
+/// every exit path — including the --walks/--dfs early returns and runs
+/// whose category mask recorded nothing (still a valid, empty trace).
+class TraceSession {
+public:
+  TraceSession() = default;
+  TraceSession(const TraceSession &) = delete;
+  TraceSession &operator=(const TraceSession &) = delete;
+
+  /// Validates and arms the session; false with a diagnostic on a bad
+  /// path or an unknown category. With an empty \p File only the stray
+  /// --trace-categories check fires.
+  bool init(const std::string &File, const std::string &CategoriesSpec,
+            std::vector<std::pair<std::string, std::string>> Metadata) {
+    if (File.empty()) {
+      if (!CategoriesSpec.empty()) {
+        std::cerr << "error: --trace-categories requires --trace\n";
+        return false;
+      }
+      return true;
+    }
+    uint32_t Mask = trace::AllCategories;
+    if (!CategoriesSpec.empty()) {
+      std::string Bad;
+      std::optional<uint32_t> Parsed =
+          trace::parseCategories(CategoriesSpec, &Bad);
+      if (!Parsed) {
+        std::cerr << "error: unknown trace category '" << Bad
+                  << "' (expected a comma-separated list of explore, swap, "
+                     "check, replay, parallel, fuzz, or all)\n";
+        return false;
+      }
+      Mask = *Parsed;
+    }
+    Out.open(File);
+    if (!Out) {
+      std::cerr << "error: cannot open '" << File << "' for writing\n";
+      return false;
+    }
+    this->File = File;
+    Meta = std::move(Metadata);
+    trace::setThreadName("main");
+    trace::start(Mask);
+    Active = true;
+    return true;
+  }
+
+  ~TraceSession() {
+    if (!Active)
+      return;
+    trace::stop();
+    trace::Snapshot Snap = trace::snapshot();
+    trace::ChromeTraceOptions Opts;
+    Opts.Counters = trace::counterSnapshot();
+    Opts.Metadata = std::move(Meta);
+    trace::writeChromeTrace(Out, Snap, Opts);
+    std::cout << "wrote " << File << " (" << Snap.totalRecords()
+              << " trace records";
+    if (Snap.totalDropped())
+      std::cout << ", " << Snap.totalDropped() << " dropped";
+    std::cout << ")\n";
+  }
+
+private:
+  std::ofstream Out;
+  std::string File;
+  std::vector<std::pair<std::string, std::string>> Meta;
+  bool Active = false;
+};
+
+/// The original invocation, re-quoted into one string for the trace's
+/// otherData metadata.
+std::string joinCommandLine(int Argc, char **Argv) {
+  std::ostringstream OS;
+  for (int I = 0; I != Argc; ++I)
+    OS << (I ? " " : "") << Argv[I];
+  return OS.str();
+}
 
 void printUsage() {
   std::cout <<
@@ -105,7 +191,12 @@ void printUsage() {
       "  --print-witness     dump the first classified violation\n"
       "  --minimize          shrink the violation witness to its core\n"
       "  --dot FILE          write the first history (or witness) as dot\n"
-      "  --save FILE         archive all output histories (text format)\n";
+      "  --save FILE         archive all output histories (text format)\n"
+      "  --trace FILE        record a Chrome trace-event JSON of the run\n"
+      "                      (open in chrome://tracing or Perfetto)\n"
+      "  --trace-categories LIST\n"
+      "                      comma-separated subset of explore,swap,check,\n"
+      "                      replay,parallel,fuzz (default all)\n";
 }
 
 std::optional<IsolationLevel> parseLevel(const std::string &Name) {
@@ -372,6 +463,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     } else if (R.is("--save")) {
       if (!R.value(Options.SaveFile))
         return false;
+    } else if (R.is("--trace")) {
+      if (!R.value(Options.TraceFile))
+        return false;
+    } else if (R.is("--trace-categories")) {
+      if (!R.value(Options.TraceCategories))
+        return false;
     } else {
       std::cerr << "error: unknown option '" << R.option() << "'\n";
       printUsage();
@@ -439,6 +536,9 @@ void printFuzzUsage() {
       "  --mutate NAME       TEST ONLY: weaken a checker axiom\n"
       "                      (weak-cc|weak-ra) to validate the fuzzer\n"
       "                      catches injected bugs\n"
+      "  --trace FILE        record a Chrome trace-event JSON of the run\n"
+      "  --trace-categories LIST\n"
+      "                      comma-separated category subset (default all)\n"
       "\n"
       "exit status: 0 = no disagreements, 2 = disagreements found\n";
 }
@@ -447,6 +547,7 @@ int fuzzMain(int Argc, char **Argv) {
   fuzz::FuzzOptions Options;
   Options.Log = &std::cout;
   std::string LevelsSpec;
+  std::string TraceFile, TraceCategories;
   OptionReader R(Argc, Argv);
   while (R.next()) {
     if (R.is("--help") || R.is("-h")) {
@@ -520,12 +621,23 @@ int fuzzMain(int Argc, char **Argv) {
         return 1;
       }
       Options.Mutation = *M;
+    } else if (R.is("--trace")) {
+      if (!R.value(TraceFile))
+        return 1;
+    } else if (R.is("--trace-categories")) {
+      if (!R.value(TraceCategories))
+        return 1;
     } else {
       std::cerr << "error: unknown fuzz option '" << R.option() << "'\n";
       printFuzzUsage();
       return 1;
     }
   }
+
+  TraceSession Trace;
+  if (!Trace.init(TraceFile, TraceCategories,
+                  {{"command", joinCommandLine(Argc, Argv)}}))
+    return 1;
 
   std::cout << "fuzz: seed " << Options.Seed << ", " << Options.Iterations
             << " iterations, shape " << Options.ShapeName;
@@ -587,6 +699,13 @@ int main(int Argc, char **Argv) {
                  "(drop --dfs/--walks)\n";
     return 1;
   }
+
+  // Armed before any exploration; its destructor writes the trace on
+  // every exit path below (including --walks/--dfs early returns).
+  TraceSession Trace;
+  if (!Trace.init(Options.TraceFile, Options.TraceCategories,
+                  {{"command", joinCommandLine(Argc, Argv)}}))
+    return 1;
 
   ClientSpec Spec;
   Spec.Sessions = Options.Sessions;
@@ -725,6 +844,11 @@ int main(int Argc, char **Argv) {
     std::cout << "consistency checks: " << Stats.ConsistencyChecks << " ("
               << static_cast<uint64_t>(ChecksPerSec) << "/s)\n";
   }
+  if (Options.Threads > 1)
+    std::cout << "parallel: " << Stats.FrontierItems << " frontier items, "
+              << Stats.StealSuccesses << " steals ("
+              << Stats.StealFailures << " failed sweeps), "
+              << Stats.IdleParks << " idle parks\n";
 
   if (Options.Classify) {
     std::cout << "classification against "
