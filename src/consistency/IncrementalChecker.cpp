@@ -295,6 +295,49 @@ void ConstraintState::applyAbort() {
   OpenReads.clear();
 }
 
+ConstraintState::ConstraintState(const ConstraintState &Old,
+                                 const std::vector<unsigned> &Keep,
+                                 unsigned MaxTxns)
+    : Levels(Old.Levels) {
+  assert(!Old.Inconsistent && "compacting an inconsistent state");
+  assert(!Old.HasOpen && "compacting with an open transaction");
+  assert(!Keep.empty() && Keep.front() == 0 &&
+         "the initial transaction must be retained");
+  const unsigned K = static_cast<unsigned>(Keep.size());
+  assert(K <= Old.NumTxns && "more retained blocks than tracked");
+  MaxN = std::max(MaxTxns, K);
+  Words = (MaxN + 63) / 64;
+  NumTxns = K;
+  NumVars = Old.NumVars;
+  TrivialOnly = Old.TrivialOnly;
+  SoWr = Relation(MaxN);
+  CausalClosure = Relation(MaxN);
+  if (!TrivialOnly)
+    GClosure = Relation(MaxN);
+  WriterBits.assign(static_cast<size_t>(NumVars) * Words, 0);
+  SessionOfTxn.assign(MaxN, 0);
+  OpenPreds.assign(2 * static_cast<size_t>(Words), 0);
+  for (unsigned I = 0; I != K; ++I) {
+    assert(Keep[I] < Old.NumTxns && "retained index out of range");
+    assert((I == 0 || Keep[I - 1] < Keep[I]) &&
+           "retained indices must be strictly ascending");
+    SessionOfTxn[I] = Old.SessionOfTxn[Keep[I]];
+    for (unsigned J = 0; J != K; ++J) {
+      if (J == I)
+        continue;
+      if (Old.SoWr.get(Keep[I], Keep[J]))
+        SoWr.set(I, J);
+      if (Old.CausalClosure.get(Keep[I], Keep[J]))
+        CausalClosure.set(I, J);
+      if (!TrivialOnly && Old.GClosure.get(Keep[I], Keep[J]))
+        GClosure.set(I, J);
+    }
+    for (VarId V = 0; V != NumVars; ++V)
+      if (Old.writesVar(Keep[I], V))
+        setBit(&WriterBits[static_cast<size_t>(V) * Words], I);
+  }
+}
+
 ConstraintState::ConstraintState(const History &H,
                                  const LevelAssignment &Levels,
                                  unsigned MaxTxns)

@@ -87,6 +87,20 @@ public:
   ConstraintState(const History &H, const LevelAssignment &Levels,
                   unsigned MaxTxns = 0);
 
+  /// Compacts \p Old to the blocks listed in \p Keep (strictly ascending,
+  /// must retain index 0), renumbering every matrix and bitset — the
+  /// state-side half of History::retainBlocks. This is deliberately a
+  /// *submatrix copy*, not a rebuild from the compacted history: forced
+  /// edges between retained transactions that were derived from evicted
+  /// readers' axiom instances are genuine constraints of the full trace
+  /// and must survive the eviction (a rebuild would silently drop them).
+  /// The restriction of a transitive closure to a subset stays
+  /// transitively closed, so every maintained invariant carries over.
+  /// \p Old must be consistent with no open transaction. \p MaxTxns
+  /// pre-sizes the new capacity (at least Keep.size()).
+  ConstraintState(const ConstraintState &Old, const std::vector<unsigned> &Keep,
+                  unsigned MaxTxns);
+
   /// False once some read's forced edges closed a cycle: the tracked
   /// history violates the base assignment. Extension appliers must not be
   /// called on an inconsistent state.
@@ -123,6 +137,16 @@ public:
         Word &= Word - 1;
       }
     }
+  }
+
+  /// True if \p A must commit before \p B under the maintained constraint
+  /// graph — (so ∪ wr ∪ forced)+ for saturating assignments, (so ∪ wr)+
+  /// when every session is at "true" (no forced edges exist). The
+  /// streaming GC uses this to prove a window transaction unreachable
+  /// from every retained one before evicting it.
+  bool constrains(unsigned A, unsigned B) const {
+    assert(A < NumTxns && B < NumTxns && "transaction index out of range");
+    return TrivialOnly ? CausalClosure.get(A, B) : GClosure.get(A, B);
   }
 
   /// True while a transaction is open (pending): the target of probes and

@@ -10,9 +10,11 @@
 #include "consistency/BruteForceChecker.h"
 #include "consistency/IncrementalChecker.h"
 #include "consistency/SaturationChecker.h"
+#include "consistency/StreamingChecker.h"
 #include "consistency/Witness.h"
 #include "core/Enumerate.h"
 #include "parallel/ParallelExplorer.h"
+#include "trace_io/TraceReader.h"
 
 #include <algorithm>
 #include <map>
@@ -79,6 +81,8 @@ const char *txdpor::fuzz::disagreementKindName(Disagreement::Kind K) {
     return "witness-mismatch";
   case Disagreement::Kind::IncrementalVerdictMismatch:
     return "incremental-verdict-mismatch";
+  case Disagreement::Kind::StreamingVerdictMismatch:
+    return "streaming-verdict-mismatch";
   }
   return "unknown";
 }
@@ -91,7 +95,8 @@ txdpor::fuzz::disagreementKindByName(const std::string &Name) {
         Disagreement::Kind::StarFilterMismatch,
         Disagreement::Kind::CheckerVerdictMismatch,
         Disagreement::Kind::WitnessMismatch,
-        Disagreement::Kind::IncrementalVerdictMismatch})
+        Disagreement::Kind::IncrementalVerdictMismatch,
+        Disagreement::Kind::StreamingVerdictMismatch})
     if (Name == disagreementKindName(K))
       return K;
   return std::nullopt;
@@ -174,11 +179,108 @@ diffIncremental(const History &H, const LevelAssignment &Levels) {
   return D;
 }
 
+/// Outcome of one windowed streaming re-check of a serialized history.
+enum class StreamVerdict : uint8_t {
+  Consistent, ///< Whole trace accepted.
+  Anomaly,    ///< Isolation violation reported.
+  Refused,    ///< Stale-read refusal — legitimate under a small budget.
+  Broken      ///< Round-tripped trace rejected as malformed: always a bug.
+};
+
+/// Streams \p Trace (a serialized jsonl trace) through a fresh
+/// StreamingChecker at \p Window, returning the verdict. \p Detail gets
+/// the checker/reader diagnostic for Refused/Broken.
+StreamVerdict streamTrace(const std::string &Trace,
+                          const LevelAssignment &Levels, unsigned Window,
+                          std::string &Detail) {
+  std::istringstream In(Trace);
+  trace_io::TraceReader Reader(In);
+  if (!Reader.valid()) {
+    Detail = "reader rejected round-tripped trace: " + Reader.error();
+    return StreamVerdict::Broken;
+  }
+  StreamingOptions SOpts;
+  SOpts.Levels = Levels;
+  SOpts.NumVars = Reader.header().NumVars;
+  SOpts.NumSessions = Reader.header().NumSessions;
+  SOpts.WindowBudget = Window;
+  StreamingChecker Checker(SOpts);
+  TransactionLog Log(TxnUid::init());
+  std::string Diag;
+  for (;;) {
+    switch (Reader.next(Log)) {
+    case trace_io::TraceReader::Next::End:
+      return StreamVerdict::Consistent;
+    case trace_io::TraceReader::Next::Error:
+      Detail = "reader choked on round-tripped record: " + Reader.error();
+      return StreamVerdict::Broken;
+    case trace_io::TraceReader::Next::Txn:
+      break;
+    }
+    switch (Checker.append(Log, &Diag)) {
+    case StreamStatus::Ok:
+      break;
+    case StreamStatus::Anomaly:
+      return StreamVerdict::Anomaly;
+    case StreamStatus::StaleRead:
+      Detail = Diag;
+      return StreamVerdict::Refused;
+    case StreamStatus::Malformed:
+      Detail = "streaming checker rejected round-tripped record: " + Diag;
+      return StreamVerdict::Broken;
+    }
+  }
+}
+
+/// The streaming leg over one history and one assignment: serialize,
+/// re-parse, stream at every budget in \p Windows, and diff against
+/// \p Expected (the full-history verdict). Returns at most one
+/// disagreement — the first mismatching budget.
+std::optional<Disagreement>
+diffStreaming(const History &H, const LevelAssignment &Levels, bool Expected,
+              const std::vector<unsigned> &Windows) {
+  trace_io::TraceHeader Hdr;
+  std::vector<TransactionLog> Txns;
+  std::string Err;
+  if (!trace_io::traceFromHistory(H, Levels, Hdr, Txns, &Err))
+    return std::nullopt; // Not trace-shaped (caller screens; belt only).
+  std::ostringstream OS;
+  trace_io::writeTrace(OS, Hdr, Txns, trace_io::TraceFormat::Jsonl);
+  std::string Trace = OS.str();
+
+  for (unsigned Window : Windows) {
+    std::string Detail;
+    StreamVerdict V = streamTrace(Trace, Levels, Window, Detail);
+    if (V == StreamVerdict::Refused)
+      continue; // An honest "raise the budget" — not a verdict.
+    bool Mismatch = V == StreamVerdict::Broken ||
+                    (V == StreamVerdict::Anomaly) == Expected;
+    if (!Mismatch)
+      continue;
+    Disagreement D;
+    D.K = Disagreement::Kind::StreamingVerdictMismatch;
+    D.Level = Levels.strongest();
+    D.Culprit = H;
+    D.ProductionVerdict = V == StreamVerdict::Consistent;
+    D.ReferenceVerdict = Expected;
+    D.Detail =
+        "streaming(window " + std::to_string(Window) + ") says " +
+        (V == StreamVerdict::Broken
+             ? "malformed"
+             : (V == StreamVerdict::Anomaly ? "inconsistent" : "consistent")) +
+        ", full-history production says " +
+        (Expected ? "consistent" : "inconsistent") + " under " + Levels.str() +
+        (Detail.empty() ? "" : " — " + Detail);
+    return D;
+  }
+  return std::nullopt;
+}
+
 } // namespace
 
 void DifferentialOracle::checkOneHistory(
     const History &H, const std::vector<IsolationLevel> &Levels,
-    std::vector<Disagreement> &Out) const {
+    std::vector<Disagreement> &Out, bool Stream) const {
   if (Config.MaxBruteForceTxns && H.numTxns() > Config.MaxBruteForceTxns)
     return;
   if (Config.CrossCheckIncremental && incrementalEligible(H)) {
@@ -234,6 +336,23 @@ void DifferentialOracle::checkOneHistory(
                    "validateCommitOrder";
         Out.push_back(std::move(D));
       }
+    }
+  }
+  // Streaming leg, deliberately last: a weakened production checker
+  // (CheckerMutation) should surface as a checker-verdict-mismatch first
+  // and a streaming mismatch second, keeping the primary finding stable.
+  // Comparing against the *mutated* verdict gives this leg the same
+  // teeth: a mutation weakens Expected, the streaming side stays exact.
+  if (Config.DiffStreaming && Stream && incrementalEligible(H)) {
+    for (IsolationLevel Level : Levels) {
+      if (!isPrefixClosedCausallyExtensible(Level) ||
+          Level == IsolationLevel::Trivial)
+        continue;
+      if (std::optional<Disagreement> D = diffStreaming(
+              H, LevelAssignment::uniform(Level),
+              mutatedIsConsistent(H, Level, Config.Mutation),
+              Config.StreamingWindows))
+        Out.push_back(std::move(*D));
     }
   }
 }
@@ -368,6 +487,30 @@ void DifferentialOracle::checkMixedSemantics(
       if (Out.size() >= 8)
         break;
       if (std::optional<Disagreement> D = diffIncremental(H, Resolved)) {
+        D->MixLevels = SessionLevels;
+        Out.push_back(std::move(*D));
+      }
+    }
+  }
+
+  // Mixed streaming leg: serialize each mixed-base output and re-check
+  // it through the windowed checker under the resolved assignment,
+  // against the scratch mixed verdict (mutations target uniform levels;
+  // this leg guards eviction and round-trip under per-session mixes).
+  if (Config.DiffStreaming) {
+    unsigned Streamed = 0;
+    for (const History &H : Ref.Histories) {
+      if (Out.size() >= 8)
+        break;
+      if (Config.MaxStreamedHistoriesPerCase &&
+          Streamed >= Config.MaxStreamedHistoriesPerCase)
+        break;
+      if (!incrementalEligible(H))
+        continue;
+      ++Streamed;
+      if (std::optional<Disagreement> D =
+              diffStreaming(H, Resolved, isConsistent(H, Resolved),
+                            Config.StreamingWindows)) {
         D->MixLevels = SessionLevels;
         Out.push_back(std::move(*D));
       }
@@ -552,8 +695,12 @@ std::vector<Disagreement> DifferentialOracle::checkProgram(
   // narrowed levels for mixed-level cases).
   if ((Config.CrossCheckVerdicts || Config.ValidateWitnesses) &&
       !CcOutputs.empty()) {
+    unsigned Streamed = 0;
     for (const History &H : CcOutputs) {
-      checkOneHistory(H, Verdicts, Out);
+      bool Stream = !Config.MaxStreamedHistoriesPerCase ||
+                    Streamed < Config.MaxStreamedHistoriesPerCase;
+      checkOneHistory(H, Verdicts, Out, Stream);
+      Streamed += Stream;
       if (Out.size() >= 8)
         break; // Enough evidence for one case.
     }

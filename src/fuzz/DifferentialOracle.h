@@ -22,7 +22,9 @@
 /// diffs, per isolation level, the production checker verdict
 /// (SaturationChecker / SnapshotIsolationChecker / SerializabilityChecker)
 /// against BruteForceChecker — the literal Def. 2.2 enumeration — and
-/// validates the commit-order certificate of consistency/Witness.h.
+/// validates the commit-order certificate of consistency/Witness.h. It
+/// also serializes eligible histories to traces and re-checks them with
+/// the windowed StreamingChecker at several budgets (the streaming leg).
 ///
 /// CheckerMutation is a test-only hook that deliberately weakens an axiom
 /// of the production side; the mutation-smoke test asserts the fuzzer
@@ -89,6 +91,11 @@ struct Disagreement {
     /// SaturationChecker / MixedSaturationChecker on one history — the
     /// leg that guards the carried-state optimization of the engine.
     IncrementalVerdictMismatch,
+    /// The windowed streaming checker, fed the history serialized to a
+    /// trace and re-parsed, differs from the full-history verdict at some
+    /// window budget (stale-read refusals excepted) — the leg that
+    /// guards eviction soundness/completeness and the trace round-trip.
+    StreamingVerdictMismatch,
   };
 
   Kind K = Kind::CheckerVerdictMismatch;
@@ -142,6 +149,22 @@ struct OracleConfig {
   /// causally-extensible chain are clamped to CC first (SI/SER cannot
   /// drive ValidWrites), identically on both sides of the cross-check.
   bool DiffMixedSemantics = true;
+  /// Serialize every checked history to a jsonl trace, re-parse it and
+  /// stream it through StreamingChecker at each StreamingWindows budget,
+  /// diffing the verdict against the full-history production verdict
+  /// (which a CheckerMutation weakens — so the mutation smoke also has
+  /// streaming teeth). Stale-read refusals are legitimate under a small
+  /// budget and skip the comparison; malformed rejections of a
+  /// round-tripped trace always count as disagreements.
+  bool DiffStreaming = true;
+  /// Window budgets of the streaming leg (0 = never evict).
+  std::vector<unsigned> StreamingWindows = {0, 4, 8};
+  /// At most this many explorer outputs per program case go through the
+  /// streaming leg (direct history cases always do). Serializing and
+  /// re-streaming all 256 outputs of a large case at every budget would
+  /// dominate the minimizer, which re-runs the oracle per shrink
+  /// candidate. 0 = unlimited.
+  unsigned MaxStreamedHistoriesPerCase = 4;
   /// Worker threads of the parallel leg (<= 1 skips it).
   unsigned Threads = 2;
   /// A base level whose output set exceeds this is skipped (its explorer
@@ -176,9 +199,12 @@ public:
   std::vector<Disagreement> checkHistory(const History &H) const;
 
 private:
+  /// \p Stream gates the streaming leg for this history (checkProgram
+  /// caps how many outputs per case pay for it).
   void checkOneHistory(const History &H,
                        const std::vector<IsolationLevel> &Levels,
-                       std::vector<Disagreement> &Out) const;
+                       std::vector<Disagreement> &Out,
+                       bool Stream = true) const;
   void checkMixedSemantics(const Program &P,
                            const std::vector<IsolationLevel> &SessionLevels,
                            std::vector<Disagreement> &Out) const;

@@ -191,7 +191,8 @@ FuzzReport txdpor::fuzz::runFuzz(const FuzzOptions &Options) {
           // toward a different bug). Ship such culprits unshrunk.
           if (Options.Minimize && First.MixLevels.empty() &&
               (First.K == Disagreement::Kind::CheckerVerdictMismatch ||
-               First.K == Disagreement::Kind::WitnessMismatch))
+               First.K == Disagreement::Kind::WitnessMismatch ||
+               First.K == Disagreement::Kind::StreamingVerdictMismatch))
             Culprit = minimizeHistory(Culprit, [&](const History &C) {
               return hasDisagreement(Oracle.checkHistory(C), First.K,
                                      First.Level);

@@ -121,6 +121,34 @@ unsigned History::appendLogShared(const History &Other, unsigned Idx) {
   return NewIdx;
 }
 
+void History::retainBlocks(const std::vector<unsigned> &Keep) {
+  assert(!Keep.empty() && Keep.front() == 0 &&
+         "the initial transaction must be retained");
+  invalidateRelationCaches();
+  std::vector<LogPtr> NewLogs;
+  NewLogs.reserve(Keep.size());
+  for (size_t I = 0; I != Keep.size(); ++I) {
+    assert(Keep[I] < Logs.size() && "retained index out of range");
+    assert((I == 0 || Keep[I - 1] < Keep[I]) &&
+           "retained indices must be strictly ascending");
+    NewLogs.push_back(std::move(Logs[Keep[I]]));
+  }
+  Logs = std::move(NewLogs);
+  IndexByUid.clear();
+  for (unsigned I = 0, E = numTxns(); I != E; ++I)
+    IndexByUid.emplace(Logs[I]->uid().packed(), I);
+  checkWellFormed(); // Debug: every retained wr writer is still present.
+}
+
+void History::replaceLog(unsigned Idx, TransactionLog Log) {
+  assert(Idx < Logs.size() && "transaction index out of range");
+  assert(Log.uid() == Logs[Idx]->uid() &&
+         "replaceLog must preserve the transaction identity");
+  invalidateRelationCaches();
+  Logs[Idx] = std::make_shared<TransactionLog>(std::move(Log));
+  checkWellFormed();
+}
+
 TransactionLog &History::mutableLog(unsigned Idx) {
   assert(Idx < Logs.size() && "transaction index out of range");
   invalidateRelationCaches();

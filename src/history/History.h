@@ -136,6 +136,24 @@ public:
   /// of the unchanged causal past (§5.2).
   unsigned appendLogShared(const History &Other, unsigned Idx);
 
+  /// Drops every block whose index is not in \p Keep (strictly ascending,
+  /// must retain index 0 — the initial transaction) and renumbers the
+  /// remainder, preserving relative block order. This is the windowed
+  /// eviction hook of the streaming checker: the COW spine makes it a
+  /// shared_ptr shuffle, no event is copied. Every wr writer of a
+  /// retained read must itself be retained (asserted via
+  /// checkWellFormed in debug builds) — the streaming GC first rewrites
+  /// retained readers via replaceLog to forget reads of evicted writers.
+  void retainBlocks(const std::vector<unsigned> &Keep);
+
+  /// Replaces the log at \p Idx wholesale with \p Log, which must carry
+  /// the same uid and keep the history well-formed. The streaming GC uses
+  /// this to drop a retained reader's reads of evicted writers before
+  /// retainBlocks (the constraints those reads induced are frozen in the
+  /// checker's closure; the events themselves would otherwise dangle).
+  /// Copy-on-write friendly: only this history's spine slot changes.
+  void replaceLog(unsigned Idx, TransactionLog Log);
+
   //===--------------------------------------------------------------------===
   // Relations (over transaction indices in the current block order)
   //===--------------------------------------------------------------------===

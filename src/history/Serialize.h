@@ -16,6 +16,11 @@
 /// variables by id ("x<N>"). The format round-trips exactly:
 /// parseHistory(writeHistory(h)) is equal to h including block order.
 ///
+/// The per-transaction line grammar is exposed on its own
+/// (writeTxnLine / parseTxnLine) because the streaming trace reader
+/// (trace_io/TraceFormat.h) reuses it verbatim as the litmus trace
+/// format — one transaction per line is exactly a trace record.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TXDPOR_HISTORY_SERIALIZE_H
@@ -27,6 +32,26 @@
 #include <string>
 
 namespace txdpor {
+
+/// Parses a transaction-uid token — "init", "<session>.<index>" or
+/// "t<session>.<index>" — the spelling shared by the history format, the
+/// litmus repro grammar and the jsonl trace records. Returns false with a
+/// diagnostic in \p Error on malformed input.
+bool parseUidToken(const std::string &Token, TxnUid &Out,
+                   std::string *Error = nullptr);
+
+/// Serializes one transaction to its "txn <uid> <events...>" line (no
+/// trailing newline). Internal reads print "<- _"; external reads print
+/// their writer uid when assigned.
+std::string writeTxnLine(const TransactionLog &Log);
+
+/// Parses one "txn ..." line into a standalone transaction log, with wr
+/// writers attached to the log (not validated against any history —
+/// callers resolve and validate them). Returns nullopt with a diagnostic
+/// in \p Error on malformed input; events after a commit/abort are
+/// rejected rather than asserted.
+std::optional<TransactionLog> parseTxnLine(const std::string &Line,
+                                           std::string *Error = nullptr);
 
 /// Serializes \p H (all transactions, block order) to the textual format.
 std::string writeHistory(const History &H);

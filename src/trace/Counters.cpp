@@ -44,6 +44,12 @@ const char *txdpor::trace::counterName(Counter C) {
     return "idle_parks";
   case Counter::FuzzCases:
     return "fuzz_cases";
+  case Counter::StreamTxns:
+    return "stream_txns";
+  case Counter::StreamEvictions:
+    return "stream_evictions";
+  case Counter::StreamPeakWindow:
+    return "stream_peak_window";
   }
   return "?";
 }
@@ -51,6 +57,14 @@ const char *txdpor::trace::counterName(Counter C) {
 void txdpor::trace::bump(Counter C, uint64_t Delta) {
   GlobalCounters[static_cast<unsigned>(C)].V.fetch_add(
       Delta, std::memory_order_relaxed);
+}
+
+void txdpor::trace::bumpMax(Counter C, uint64_t Value) {
+  std::atomic<uint64_t> &A = GlobalCounters[static_cast<unsigned>(C)].V;
+  uint64_t Cur = A.load(std::memory_order_relaxed);
+  while (Cur < Value &&
+         !A.compare_exchange_weak(Cur, Value, std::memory_order_relaxed)) {
+  }
 }
 
 uint64_t txdpor::trace::counterValue(Counter C) {

@@ -42,14 +42,21 @@ enum class Counter : uint8_t {
   StealFailures,      ///< Full failed scans over all victim queues.
   IdleParks,          ///< Worker back-off sleeps while work was pending.
   FuzzCases,          ///< Differential-fuzz cases executed.
+  StreamTxns,         ///< Trace transactions ingested by check-trace.
+  StreamEvictions,    ///< Window transactions garbage-collected.
+  StreamPeakWindow,   ///< High-water window size (maintained via bumpMax).
 };
-constexpr unsigned NumCounters = 8;
+constexpr unsigned NumCounters = 11;
 
 /// Snake_case display name of \p C (the JSON key in dumps).
 const char *counterName(Counter C);
 
 /// Adds \p Delta to \p C (relaxed).
 void bump(Counter C, uint64_t Delta = 1);
+
+/// Raises \p C to at least \p Value (relaxed CAS max) — for high-water
+/// gauges like the streaming window size, where a plain add is wrong.
+void bumpMax(Counter C, uint64_t Value);
 
 /// Current value of \p C (relaxed).
 uint64_t counterValue(Counter C);

@@ -1,0 +1,116 @@
+//===- trace_io/TraceGen.cpp - Deterministic trace generation -------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace_io/TraceGen.h"
+
+#include <cassert>
+
+using namespace txdpor;
+using namespace txdpor::trace_io;
+
+namespace {
+
+/// splitmix64 — small, fast, deterministic across platforms.
+struct Rng {
+  uint64_t State;
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+};
+
+} // namespace
+
+TraceHeader trace_io::generateTrace(
+    const GenConfig &C,
+    const std::function<void(const TransactionLog &)> &Sink) {
+  assert(C.Sessions > 0 && C.Vars > 0 && "degenerate generator config");
+  Rng R{C.Seed * 0x9e3779b97f4a7c15ULL + 1};
+  std::vector<uint32_t> NextIndex(C.Sessions, 0);
+  // Latest committed writer of each variable — what a clean transaction
+  // reads from.
+  std::vector<TxnUid> Latest(C.Vars, TxnUid::init());
+  Value NextValue = 1;
+  uint64_t Events = 0, Txns = 0;
+
+  // Injection state machine: phase 1 emits the fresh writer, phase 2 the
+  // RMW superseding it, phase 3 the read-skew reader observing both
+  // versions. The three transactions are adjacent, so the stale writer is
+  // at most two ingests old at the reader — inside the streaming
+  // checker's young-generation eviction exemption, guaranteeing an
+  // anomaly verdict rather than a stale-read refusal.
+  unsigned AnomalyPhase = 0;
+  TxnUid FreshWriter = TxnUid::init(), RmwUid = TxnUid::init();
+  VarId AnomalyVar = 0;
+
+  while (Events < C.Events) {
+    ++Txns;
+    unsigned Session = static_cast<unsigned>(R.below(C.Sessions));
+    TransactionLog Log(TxnUid{Session, NextIndex[Session]++});
+    Log.append(Event::makeBegin());
+
+    if (C.AnomalyAtTxn && Txns == C.AnomalyAtTxn) {
+      // Phase 1: a fresh single-write version of the anomaly variable.
+      Log.append(Event::makeWrite(AnomalyVar, NextValue++));
+      Log.append(Event::makeCommit());
+      Latest[AnomalyVar] = Log.uid();
+      FreshWriter = Log.uid();
+      AnomalyPhase = 2;
+    } else if (AnomalyPhase == 2) {
+      // Phase 2: a read-modify-write superseding the fresh version.
+      Log.append(Event::makeRead(AnomalyVar));
+      Log.setWriter(static_cast<uint32_t>(Log.size()) - 1, FreshWriter);
+      Log.append(Event::makeWrite(AnomalyVar, NextValue++));
+      Log.append(Event::makeCommit());
+      Latest[AnomalyVar] = Log.uid();
+      RmwUid = Log.uid();
+      AnomalyPhase = 3;
+    } else if (AnomalyPhase == 3) {
+      // Phase 3: observe the RMW's version, then the version it
+      // superseded — a commit-order cycle at RC and every stronger
+      // level.
+      Log.append(Event::makeRead(AnomalyVar));
+      Log.setWriter(static_cast<uint32_t>(Log.size()) - 1, RmwUid);
+      Log.append(Event::makeRead(AnomalyVar));
+      Log.setWriter(static_cast<uint32_t>(Log.size()) - 1, FreshWriter);
+      Log.append(Event::makeCommit());
+      AnomalyPhase = 0;
+    } else {
+      // Reads first (reads-latest), then writes — the RMW shape of real
+      // OLTP transactions. A read of a variable this transaction later
+      // writes stays external; a repeated var draws are fine.
+      for (unsigned K = 0; K != C.ReadsPerTxn; ++K) {
+        VarId V = static_cast<VarId>(R.below(C.Vars));
+        Log.append(Event::makeRead(V));
+        if (!Log.lastWriteBefore(V, static_cast<uint32_t>(Log.size()) - 1))
+          Log.setWriter(static_cast<uint32_t>(Log.size()) - 1, Latest[V]);
+      }
+      std::vector<VarId> Written;
+      for (unsigned K = 0; K != C.WritesPerTxn; ++K) {
+        VarId V = static_cast<VarId>(R.below(C.Vars));
+        Log.append(Event::makeWrite(V, NextValue++));
+        Written.push_back(V);
+      }
+      bool Abort = R.below(100) < C.AbortPercent;
+      Log.append(Abort ? Event::makeAbort() : Event::makeCommit());
+      if (!Abort)
+        for (VarId V : Written)
+          Latest[V] = Log.uid();
+    }
+
+    Events += Log.size();
+    Sink(Log);
+  }
+
+  TraceHeader Header;
+  Header.NumVars = C.Vars;
+  Header.NumSessions = C.Sessions;
+  return Header;
+}

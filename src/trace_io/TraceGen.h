@@ -1,0 +1,66 @@
+//===- trace_io/TraceGen.h - Deterministic trace generation ---------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of production-shaped traces for the streaming
+/// checker's benches, CI smoke and stress tests. Committed transactions
+/// read the *latest* committed writer of each variable (the behaviour of
+/// a serially-executing store), so the generated trace is consistent at
+/// every saturable level and — crucially for the windowed checker — its
+/// constraint edges all point forward in commit order, which keeps the
+/// eviction fixpoint draining and the window bounded by the budget.
+///
+/// An optional seeded anomaly injects a three-transaction read-skew at a
+/// chosen position: a fresh writer of one variable, an RMW superseding
+/// it, then a reader that observes the new version and then the
+/// superseded one, forcing a commit-order cycle at RC and every stronger
+/// level. The three transactions are adjacent, so the superseded writer
+/// is at most two ingests old at the reader — inside the streaming
+/// checker's young-generation eviction exemption — and the checker
+/// reports a definite anomaly, never a stale-read refusal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_TRACE_IO_TRACEGEN_H
+#define TXDPOR_TRACE_IO_TRACEGEN_H
+
+#include "trace_io/TraceFormat.h"
+
+#include <functional>
+
+namespace txdpor {
+namespace trace_io {
+
+/// Knobs of one generated trace. Defaults give a clean, friendly trace.
+struct GenConfig {
+  unsigned Sessions = 4;
+  unsigned Vars = 8;
+  uint64_t Seed = 1;
+  /// Target event count (sum of log sizes, begin/commit included); the
+  /// generator stops at the first transaction boundary past it.
+  uint64_t Events = 10000;
+  unsigned ReadsPerTxn = 2;
+  unsigned WritesPerTxn = 2;
+  /// Percentage of transactions that abort (their writes stay invisible).
+  unsigned AbortPercent = 5;
+  /// When non-zero, inject the read-skew anomaly as transactions number
+  /// \p AnomalyAtTxn through AnomalyAtTxn+2 (1-based count of generated
+  /// transactions; pick it past a few warm-up transactions).
+  uint64_t AnomalyAtTxn = 0;
+};
+
+/// Generates the trace described by \p C, passing each completed
+/// transaction to \p Sink in commit order, and returns the header
+/// (vars/sessions; no level — the checker's assignment is the caller's
+/// choice). Deterministic in C.Seed.
+TraceHeader generateTrace(const GenConfig &C,
+                          const std::function<void(const TransactionLog &)> &Sink);
+
+} // namespace trace_io
+} // namespace txdpor
+
+#endif // TXDPOR_TRACE_IO_TRACEGEN_H

@@ -113,6 +113,60 @@ for categories in "" "--trace-categories=fuzz"; do
   fi
 done
 
+# expect_exit <code> <args...> — the command must exit with exactly
+# <code> (the check-trace verdict contract: 0 consistent, 1 malformed,
+# 2 violation, 3 undecided).
+expect_exit() {
+  local want="$1"
+  shift
+  "$CLI" "$@" >/dev/null 2>&1
+  local status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "FAIL: '$CLI $*' exited $status, expected $want" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Verb dispatch: unknown verbs and unreadable inputs are usage errors.
+expect_reject "unknown verb" no-such-verb
+expect_reject "cannot open" check-trace /no/such/file.jsonl
+expect_reject "cannot open" gen-trace --out /no/such/dir/trace.jsonl
+expect_reject "expects a non-negative integer" check-trace --window=abc
+
+# The check-trace exit-code contract over the golden corpus.
+traces="$(cd "$(dirname "$0")" && pwd)/traces"
+expect_reject "prefix-closed causally-extensible" \
+  check-trace "$traces/clean_tiny.litmus" --base SER
+expect_exit 0 check-trace "$traces/clean_tiny.litmus" --base CC
+expect_exit 2 check-trace "$traces/read_skew_rc.litmus" --base RC
+expect_exit 2 check-trace "$traces/mixed_rc_cc.litmus"
+expect_exit 0 check-trace "$traces/mixed_rc_cc.litmus" --base RC
+expect_exit 3 check-trace "$traces/stale_read.litmus" --base CC --window 4
+expect_exit 1 check-trace "$traces/malformed/truncated.jsonl"
+expect_exit 1 check-trace "$traces/malformed/unknown_session.jsonl"
+expect_exit 1 check-trace "$traces/malformed/unknown_writer.jsonl"
+expect_exit 1 check-trace "$traces/malformed/duplicate_commit.jsonl"
+
+# gen-trace pipes into check-trace: clean stays clean under a small
+# window, an injected anomaly exits 2, and the --repro trace is itself
+# a valid check-trace input that reproduces the violation.
+pipe_out="/tmp/cli_smoke_pipe.$$"
+repro_out="/tmp/cli_smoke_repro.$$.litmus"
+trap 'rm -f "$trace_out" "$pipe_out" "$repro_out"' EXIT
+"$CLI" gen-trace --events 2000 --seed 3 --out "$pipe_out" >/dev/null 2>&1
+expect_exit 0 check-trace "$pipe_out" --base CC --window 16
+"$CLI" gen-trace --events 2000 --seed 3 --anomaly-at 100 \
+  --out "$pipe_out" >/dev/null 2>&1
+expect_exit 2 check-trace "$pipe_out" --base RC --window 16
+"$CLI" check-trace "$pipe_out" --base RC --window 16 \
+  --repro "$repro_out" >/dev/null 2>&1
+if [ ! -s "$repro_out" ]; then
+  echo "FAIL: check-trace --repro left '$repro_out' missing/empty" >&2
+  failures=$((failures + 1))
+else
+  expect_exit 2 check-trace "$repro_out" --base RC
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "cli_smoke: $failures assertion(s) failed" >&2
   exit 1

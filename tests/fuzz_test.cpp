@@ -361,6 +361,45 @@ TEST(FuzzMutationSmokeTest, WeakenedCausalAxiomIsCaughtAndShrunk) {
       << "no repro shrank to <= 3 sessions / <= 6 operations";
 }
 
+TEST(FuzzStreamingSmokeTest, WeakenedCausalAxiomIsCaughtThroughStreamingLeg) {
+  // The streaming leg alone must have teeth: with every other
+  // mutation-sensitive (and expensive) oracle leg switched off, the
+  // windowed StreamingChecker — fed each history serialized to a trace
+  // and re-parsed — is the only implementation left that can notice the
+  // weakened CC axiom, and the finding must still shrink to a litmus
+  // repro through the streaming-only predicate.
+  FuzzOptions Options;
+  Options.Seed = 1;
+  Options.Iterations = 10000;
+  Options.MaxDisagreements = 4;
+  Options.Mutation = CheckerMutation::WeakCausalPremise;
+  Options.Oracle.CrossCheckVerdicts = false;
+  Options.Oracle.ValidateWitnesses = false;
+  Options.Oracle.DiffStarFilters = false;
+  Options.Oracle.DiffExplorers = false;
+  Options.Oracle.DiffMixedSemantics = false;
+  Options.Oracle.CrossCheckIncremental = false;
+  FuzzReport Report = runFuzz(Options);
+  ASSERT_GT(Report.DisagreeingCases, 0u)
+      << "the streaming leg missed the injected CC weakening";
+
+  bool SawTinyRepro = false;
+  for (const Repro &R : Report.Repros) {
+    EXPECT_EQ(R.Kind, Disagreement::Kind::StreamingVerdictMismatch);
+    EXPECT_EQ(R.Level, IsolationLevel::CausalConsistency);
+    ASSERT_TRUE(R.Hist.has_value());
+    // Real disagreement: the mutated full-history side accepts, the
+    // exact streaming side (= the true verdict) rejects.
+    EXPECT_TRUE(mutatedIsConsistent(*R.Hist, R.Level,
+                                    CheckerMutation::WeakCausalPremise));
+    EXPECT_FALSE(isConsistent(*R.Hist, R.Level));
+    if (countSessions(*R.Hist) <= 3 && countOps(*R.Hist) <= 8)
+      SawTinyRepro = true;
+  }
+  EXPECT_TRUE(SawTinyRepro)
+      << "no streaming repro shrank to <= 3 sessions / <= 8 operations";
+}
+
 TEST(FuzzMutationSmokeTest, WeakenedAtomicVisibilityIsCaught) {
   FuzzOptions Options;
   Options.Seed = 2;

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate a `txdpor-cli check-trace --report` JSON run report.
+
+CI runs this after every check-trace smoke invocation; it checks what a
+human would eyeball in the report before trusting a green run:
+
+  * the document is a check-trace report with a known status;
+  * the counters are present, integral and mutually consistent
+    (evictions never exceed ingested transactions, a bounded run that
+    evicted something ran GC passes, the mirrored peak-window counter
+    agrees with the report field);
+  * (with --expect-status) the run ended in the expected verdict;
+  * (with --max-peak) the peak live window stayed within the given
+    bound — the memory-boundedness acceptance criterion: a GC
+    regression fails the job instead of shipping an unbounded checker.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_STATUSES = {"consistent", "anomaly", "stale-read", "malformed"}
+
+COUNTER_FIELDS = [
+    "window_budget",
+    "txns",
+    "events",
+    "external_reads",
+    "evictions",
+    "gc_passes",
+    "reads_forgotten",
+    "peak_window",
+    "peak_window_counter",
+]
+
+
+def fail(msg):
+    print(f"check_stream_report: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="check-trace --report JSON file")
+    parser.add_argument(
+        "--expect-status",
+        choices=sorted(KNOWN_STATUSES),
+        help="require this run verdict",
+    )
+    parser.add_argument(
+        "--max-peak",
+        type=int,
+        help="require peak_window <= N (memory-boundedness gate)",
+    )
+    parser.add_argument(
+        "--min-evictions",
+        type=int,
+        help="require at least N evictions (the GC actually ran)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(
+            f"check_stream_report: cannot load {args.report}: {e}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if not isinstance(doc, dict):
+        return fail("top level is not an object")
+    if doc.get("report") != "check-trace":
+        return fail(f"not a check-trace report: {doc.get('report')!r}")
+
+    status = doc.get("status")
+    if status not in KNOWN_STATUSES:
+        return fail(f"unknown status {status!r}")
+
+    for field in COUNTER_FIELDS:
+        value = doc.get(field)
+        if not isinstance(value, int) or value < 0:
+            return fail(f"{field} missing or not a non-negative integer: "
+                        f"{value!r}")
+
+    txns = doc["txns"]
+    evictions = doc["evictions"]
+    if evictions > txns:
+        return fail(f"evicted {evictions} of only {txns} transactions")
+    if evictions > 0 and doc["gc_passes"] == 0:
+        return fail("evictions without a recorded GC pass")
+    if doc["peak_window"] != doc["peak_window_counter"]:
+        return fail(
+            f"report peak_window {doc['peak_window']} disagrees with the "
+            f"process counter {doc['peak_window_counter']}"
+        )
+    if doc["events"] < txns:
+        return fail(f"{doc['events']} events for {txns} transactions")
+    if status != "consistent" and "diagnostic" not in doc:
+        return fail(f"status {status} without a diagnostic")
+
+    if args.expect_status and status != args.expect_status:
+        return fail(f"status is {status}, expected {args.expect_status}")
+    if args.max_peak is not None and doc["peak_window"] > args.max_peak:
+        return fail(
+            f"peak window {doc['peak_window']} exceeds bound {args.max_peak} "
+            f"(budget {doc['window_budget']})"
+        )
+    if args.min_evictions is not None and evictions < args.min_evictions:
+        return fail(f"only {evictions} evictions, expected >= "
+                    f"{args.min_evictions}")
+
+    print(
+        f"check_stream_report: OK: {status}, {txns} txns, "
+        f"peak window {doc['peak_window']} (budget {doc['window_budget']}), "
+        f"{evictions} evicted"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
