@@ -107,7 +107,7 @@ std::vector<NamedProgram>
 txdpor::bench::makeBenchmarkPrograms(unsigned Sessions, unsigned Txns) {
   std::vector<NamedProgram> Programs;
   unsigned Clients = benchClients();
-  for (AppKind App : AllApps) {
+  for (AppKind App : PaperApps) {
     for (unsigned Client = 0; Client != Clients; ++Client) {
       ClientSpec Spec;
       Spec.Sessions = Sessions;

@@ -28,6 +28,8 @@ const char *txdpor::appName(AppKind App) {
     return "wikipedia";
   case AppKind::Tpcc:
     return "tpcc";
+  case AppKind::IdenticalSessions:
+    return "identical";
   }
   return "?";
 }
@@ -80,6 +82,39 @@ Program txdpor::makeClientProgram(AppKind App, const ClientSpec &Spec) {
     for (unsigned S = 0; S != Spec.Sessions; ++S)
       for (unsigned T = 0; T != Spec.TxnsPerSession; ++T)
         A.addRandomTxn(S, R);
+    break;
+  }
+  case AppKind::IdenticalSessions: {
+    // The session-symmetry stress shape: one transaction sequence is
+    // drawn from the seed and *every* session runs it verbatim, so all
+    // sessions fall into a single structural class and the exploration
+    // tree is dominated by renaming-isomorphic subtrees. Two hot
+    // variables keep the transactions conflicting (a conflict-free
+    // symmetric program would have a trivial tree).
+    VarId X = B.var("x");
+    VarId Y = B.var("y");
+    for (unsigned T = 0; T != Spec.TxnsPerSession; ++T) {
+      uint64_t Template = R.nextBelow(4);
+      Value K = R.nextInRange(1, 4);
+      for (unsigned S = 0; S != Spec.Sessions; ++S) {
+        ProgramBuilder::TxnHandle Txn =
+            B.beginTxn(S, "same" + std::to_string(T));
+        switch (Template) {
+        case 0: // counter increment on the contended variable
+          Txn.read("a", X).write(X, Txn.local("a") + 1);
+          break;
+        case 1: // two-variable read-only snapshot
+          Txn.read("a", X).read("b", Y);
+          break;
+        case 2: // blind write
+          Txn.write(Y, K);
+          break;
+        default: // read-modify-write across the pair
+          Txn.read("b", Y).write(Y, Txn.local("b") + K).write(X, K);
+          break;
+        }
+      }
+    }
     break;
   }
   }

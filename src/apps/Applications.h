@@ -31,9 +31,22 @@ enum class AppKind : uint8_t {
   Courseware,
   Wikipedia,
   Tpcc,
+  /// Maximal-session-symmetry workload: every session runs the *same*
+  /// seed-drawn transaction sequence over two hot variables. Not one of
+  /// the paper's five applications — this is the stress shape for the
+  /// session-symmetry dedup (core/Dedup.h), where the exploration tree
+  /// consists almost entirely of renaming-isomorphic subtrees.
+  IdenticalSessions,
 };
 
-inline constexpr std::array<AppKind, 5> AllApps = {
+inline constexpr std::array<AppKind, 6> AllApps = {
+    AppKind::ShoppingCart, AppKind::Twitter,   AppKind::Courseware,
+    AppKind::Wikipedia,    AppKind::Tpcc,      AppKind::IdenticalSessions};
+
+/// The paper's five applications (§7.2) — the roster behind the
+/// "25-program benchmark" of BenchCommon. IdenticalSessions is excluded:
+/// it is our symmetry stress shape, not part of the paper's evaluation.
+inline constexpr std::array<AppKind, 5> PaperApps = {
     AppKind::ShoppingCart, AppKind::Twitter, AppKind::Courseware,
     AppKind::Wikipedia, AppKind::Tpcc};
 

@@ -1,0 +1,139 @@
+//===- core/Dedup.h - Subtree dedup & session-symmetry reduction ----------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unfolding-style subtree deduplication: a canonical fingerprint of a
+/// WorkItem (history structure + cursor snapshot + base levels), memoized
+/// in a sharded table so isomorphic subtrees are expanded once. Modeled on
+/// POR-SE's event-structure unfolding (canonical configuration
+/// fingerprints in a shared table); adapted here to the transactional
+/// exploration tree, where the symmetry worth exploiting is *session
+/// renaming* in programs with structurally identical sessions.
+///
+/// Two fingerprinting modes (DedupMode, core/ExplorerConfig.h):
+///
+///   * Exact: the fingerprint is an order-sensitive 128-bit hash of the
+///     item as-is. expandItem is a deterministic function of (item,
+///     engine), so two items with equal structure root identical subtrees
+///     and skipping the second preserves the output *set* exactly. This
+///     de-dupes e.g. the duplicate items the §5.3 ablations generate.
+///
+///   * Symmetry: session ids are first renamed to a canonical permutation.
+///     Sessions are partitioned once per table into *structural classes*
+///     (same transaction bodies, same count, same base level); within each
+///     class a canonical order is chosen per item by a two-round color
+///     refinement over per-session event-sequence digests. Renaming is
+///     sound because a structural-class permutation π maps the program to
+///     itself: π applied to a reachable item yields a reachable item whose
+///     subtree is the π-image of the original's, and per-session level
+///     verdicts are invariant under within-class renaming. A wrong (but
+///     deterministic) canonical choice can only cost effectiveness, never
+///     soundness of the fingerprint itself — the fingerprint hashes the
+///     *renamed* item exactly.
+///
+/// The table is internally synchronized (sharded mutexes) and its probe
+/// entry points are const, so the one engine instance shared by the
+/// recursive, iterative and parallel drivers covers all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_CORE_DEDUP_H
+#define TXDPOR_CORE_DEDUP_H
+
+#include "consistency/IsolationLevel.h"
+#include "core/ExplorerConfig.h"
+#include "history/History.h"
+#include "program/Program.h"
+#include "semantics/Executor.h"
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace txdpor {
+
+/// A 128-bit fingerprint: two independently-seeded 64-bit avalanche chains
+/// over the same element stream, so accidental collisions need both chains
+/// to collide at once.
+struct Fingerprint {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+};
+
+struct FingerprintHash {
+  size_t operator()(const Fingerprint &F) const {
+    return static_cast<size_t>(F.Lo ^ (F.Hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Order-insensitive exact fingerprint of a history alone (logs sorted by
+/// uid, no session renaming). Hashes exactly the information canonicalKey
+/// serializes, so canonicalKey equality ⇔ fingerprint equality up to hash
+/// collisions (asserted over fuzz corpora in tests/dedup_test.cpp).
+Fingerprint historyFingerprint(const History &H);
+
+/// The memoized explored-fingerprint table of one exploration run.
+/// Constructed by the ExplorationEngine when ExplorerConfig::Dedup is not
+/// Off; shared by every driver that run uses.
+class DedupTable {
+public:
+  /// \p Levels must be the engine's *resolved* per-session assignment —
+  /// it both salts the fingerprint (so tables are never reused across
+  /// semantics) and separates structural session classes in Symmetry mode.
+  DedupTable(const Program &Prog, const LevelAssignment &Levels,
+             DedupMode Mode);
+
+  DedupMode mode() const { return Mode; }
+
+  /// The canonical fingerprint of one WorkItem (history + cursor
+  /// snapshot; Depth is exploration bookkeeping and CState is derived
+  /// from the history, so neither participates).
+  Fingerprint itemFingerprint(const History &H, const CursorMap &Cursors) const;
+
+  /// Inserts \p F; returns true iff it was not already present (i.e. the
+  /// subtree rooted at the fingerprinted item is new). Thread-safe.
+  bool insertIfNew(const Fingerprint &F) const;
+
+  /// Fingerprints memoized so far (sums the shards; approximate under
+  /// concurrent insertion).
+  uint64_t size() const;
+
+private:
+  uint32_t classOf(uint32_t Session) const {
+    return Session == TxnUid::InitSession ? InitClass : ClassOf[Session];
+  }
+
+  static constexpr uint32_t InitClass = 0xffffffffu;
+  static constexpr unsigned NumShards = 16;
+
+  struct Shard {
+    mutable std::mutex M;
+    mutable std::unordered_set<Fingerprint, FingerprintHash> Set;
+  };
+
+  DedupMode Mode;
+  unsigned NumSessions;
+  /// Session → structural class id (Symmetry mode; identity classes are
+  /// still computed in Exact mode but unused there).
+  std::vector<uint32_t> ClassOf;
+  /// Fold of the program text + resolved levels: items from different
+  /// semantics can never alias.
+  uint64_t Salt0 = 0;
+  uint64_t Salt1 = 0;
+  std::array<Shard, NumShards> Shards;
+};
+
+} // namespace txdpor
+
+#endif // TXDPOR_CORE_DEDUP_H

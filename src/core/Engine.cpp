@@ -55,6 +55,8 @@ ExplorationEngine::ExplorationEngine(const Program &Prog,
            "oracle order must cover the whole program");
     Order = OracleOrder::fromSequence(OracleSequence);
   }
+  if (this->Config.Dedup != DedupMode::Off)
+    Dedup = std::make_unique<DedupTable>(Prog, BaseLevels, this->Config.Dedup);
 }
 
 WorkItem ExplorationEngine::initialItem() const {
@@ -153,6 +155,15 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     S.Stats.MaxDepth = Item.Depth;
   if (shouldStop(S))
     return;
+  if (Dedup) {
+    ++S.Stats.DedupChecks;
+    if (!Dedup->insertIfNew(Dedup->itemFingerprint(Item.H, Item.Cursors))) {
+      // An item with this canonical fingerprint was already expanded;
+      // its subtree's outputs are (a renaming of) ones already emitted.
+      ++S.Stats.DedupSkips;
+      return;
+    }
+  }
   TXDPOR_TRACE_SPAN(Explore, ExpandItem, Item.Depth);
   if (S.OnExplore)
     S.OnExplore(Item.H);

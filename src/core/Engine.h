@@ -16,10 +16,12 @@
 /// branches (read wr choices, or the single deterministic successor)
 /// first, then the swap branches in computeReorderings order.
 ///
-/// The engine itself is immutable after construction and therefore safe to
-/// share across threads; all mutable per-walk state (statistics, stop
-/// flag, deadline poll state, callbacks) lives in an ExplorationSink that
-/// each driver — or each worker thread of the parallel driver — owns
+/// The engine itself is immutable after construction — except the
+/// internally-synchronized dedup table (core/Dedup.h), owned here so one
+/// table covers every driver — and therefore safe to share across
+/// threads; all other mutable per-walk state (statistics, stop flag,
+/// deadline poll state, callbacks) lives in an ExplorationSink that each
+/// driver — or each worker thread of the parallel driver — owns
 /// privately. Cross-worker coordination (cooperative stop, the global
 /// MaxEndStates budget) goes through the optional atomics in the sink.
 ///
@@ -36,6 +38,7 @@
 
 #include "consistency/ConsistencyChecker.h"
 #include "consistency/IncrementalChecker.h"
+#include "core/Dedup.h"
 #include "core/ExplorerConfig.h"
 #include "core/Swap.h"
 #include "program/Program.h"
@@ -100,8 +103,9 @@ struct ExplorationSink {
   std::atomic<uint64_t> *SharedEndStates = nullptr;
 };
 
-/// The single-step expansion shared by every exploration driver. Immutable
-/// after construction; const member functions are safe to call from many
+/// The single-step expansion shared by every exploration driver.
+/// Immutable after construction (the dedup table is internally
+/// synchronized); const member functions are safe to call from many
 /// threads concurrently with distinct sinks.
 class ExplorationEngine {
 public:
@@ -156,6 +160,10 @@ private:
   const ConsistencyChecker *Filter = nullptr;
   std::vector<TxnUid> OracleSequence; ///< Start order used by Next.
   OracleOrder Order;                  ///< Comparator shared with swapped().
+  /// Explored-fingerprint memo, present iff Config.Dedup != Off. Sharded
+  /// and internally synchronized, so the one engine the parallel driver
+  /// shares across workers needs no extra coordination.
+  std::unique_ptr<DedupTable> Dedup;
 };
 
 /// Depth-first drain of the subtree rooted at \p Root: an explicit LIFO

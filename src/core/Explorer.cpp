@@ -44,6 +44,8 @@ void ExplorerStats::merge(const ExplorerStats &Other) {
   StealFailures += Other.StealFailures;
   IdleParks += Other.IdleParks;
   FrontierItems += Other.FrontierItems;
+  DedupChecks += Other.DedupChecks;
+  DedupSkips += Other.DedupSkips;
   TimedOut = TimedOut || Other.TimedOut;
   HitEndStateCap = HitEndStateCap || Other.HitEndStateCap;
   ElapsedMillis += Other.ElapsedMillis;

@@ -33,6 +33,21 @@
 
 namespace txdpor {
 
+/// Subtree-deduplication mode (core/Dedup.h). Off by default so uniform
+/// runs stay byte-identical to pre-dedup builds.
+///
+///   * Off      — every subtree is expanded (the historical behaviour);
+///   * Exact    — memoize a fingerprint of each expanded WorkItem and skip
+///     items whose fingerprint was already expanded. expandItem is a
+///     deterministic function of the item, so identical items root
+///     identical subtrees and skipping repeats preserves the output *set*
+///     exactly (multiplicities may drop where the §5.3 ablations generate
+///     duplicates);
+///   * Symmetry — additionally canonicalize session ids modulo renaming
+///     within structural session classes before fingerprinting, so
+///     isomorphic subtrees of symmetric programs are explored once.
+enum class DedupMode : uint8_t { Off, Exact, Symmetry };
+
 /// Options of one exploration run.
 struct ExplorerConfig {
   /// I0: the prefix-closed, causally-extensible level driving ValidWrites
@@ -113,6 +128,12 @@ struct ExplorerConfig {
   /// is scheduler-independent), only the exploration order changes.
   std::vector<TxnUid> OracleOrderOverride;
 
+  /// Subtree dedup: skip WorkItems whose (optionally session-canonicalized)
+  /// fingerprint has already been expanded. The engine owns one
+  /// internally-synchronized table per run, shared by all drivers
+  /// (recursive, iterative, parallel). See core/Dedup.h.
+  DedupMode Dedup = DedupMode::Off;
+
   /// Returns the paper's name for this configuration, e.g. "CC",
   /// "CC + SER", "true + CC".
   std::string algorithmName() const;
@@ -161,6 +182,10 @@ struct ExplorerStats {
   uint64_t StealFailures = 0;
   uint64_t IdleParks = 0;
   uint64_t FrontierItems = 0;
+  /// Subtree-dedup observability (zero when Dedup is Off): fingerprint
+  /// probes performed and subtrees skipped as already explored.
+  uint64_t DedupChecks = 0;
+  uint64_t DedupSkips = 0;
   bool TimedOut = false;
   bool HitEndStateCap = false;
   double ElapsedMillis = 0;

@@ -83,6 +83,8 @@ const char *txdpor::fuzz::disagreementKindName(Disagreement::Kind K) {
     return "incremental-verdict-mismatch";
   case Disagreement::Kind::StreamingVerdictMismatch:
     return "streaming-verdict-mismatch";
+  case Disagreement::Kind::DedupVerdictMismatch:
+    return "dedup-verdict-mismatch";
   }
   return "unknown";
 }
@@ -96,7 +98,8 @@ txdpor::fuzz::disagreementKindByName(const std::string &Name) {
         Disagreement::Kind::CheckerVerdictMismatch,
         Disagreement::Kind::WitnessMismatch,
         Disagreement::Kind::IncrementalVerdictMismatch,
-        Disagreement::Kind::StreamingVerdictMismatch})
+        Disagreement::Kind::StreamingVerdictMismatch,
+        Disagreement::Kind::DedupVerdictMismatch})
     if (Name == disagreementKindName(K))
       return K;
   return std::nullopt;
@@ -444,6 +447,38 @@ void DifferentialOracle::checkMixedSemantics(
                                   "recursive")));
   }
 
+  // Dedup under the mixed base: exact must reproduce the multiset;
+  // symmetry must stay inside it (sessions at different levels land in
+  // different structural classes, so a level mix *shrinks* the symmetry
+  // available — never the soundness). Verdict-existence equality is
+  // exercised by the uniform leg; here the set containment is the
+  // mixed-specific property.
+  if (Config.DiffDedup) {
+    ExplorerConfig Exact = Recursive;
+    Exact.Dedup = DedupMode::Exact;
+    auto ExactKeys = keyMultiset(enumerateHistories(P, Exact).Histories);
+    if (ExactKeys != RefKeys)
+      Out.push_back(MakeDisagreement(
+          Disagreement::Kind::DedupVerdictMismatch,
+          "dedup=exact vs dedup=off under mix(" + Resolved.str() +
+              "): " + diffSummary(ExactKeys, RefKeys, "exact", "off")));
+    ExplorerConfig Sym = Recursive;
+    Sym.Dedup = DedupMode::Symmetry;
+    auto SymKeys = keyMultiset(enumerateHistories(P, Sym).Histories);
+    for (const auto &[Key, N] : SymKeys) {
+      auto It = RefKeys.find(Key);
+      if (It == RefKeys.end() || It->second < N) {
+        Out.push_back(MakeDisagreement(
+            Disagreement::Kind::DedupVerdictMismatch,
+            "dedup=symmetry emitted histories outside the dedup=off set "
+            "under mix(" +
+                Resolved.str() +
+                "): " + diffSummary(SymKeys, RefKeys, "symmetry", "off")));
+        break;
+      }
+    }
+  }
+
   // Completeness/soundness against the Def. 2.2 reference with
   // per-transaction commit tests: the mixed output set must equal the
   // explore-ce(true) set re-filtered by BruteForceChecker(assignment).
@@ -655,6 +690,76 @@ std::vector<Disagreement> DifferentialOracle::checkProgram(
                      ": " + diffSummary(ParKeys, RefKeys, "parallel",
                                         "recursive");
           Out.push_back(std::move(D));
+        }
+      }
+    }
+
+    if (Config.DiffDedup) {
+      // Exact mode has nothing to skip on a strongly-optimal run (no two
+      // WorkItems of one exploration are identical), so its output
+      // multiset must match the reference verbatim.
+      ExplorerConfig Exact = Recursive;
+      Exact.Dedup = DedupMode::Exact;
+      auto ExactKeys = keyMultiset(enumerateHistories(P, Exact).Histories);
+      if (ExactKeys != RefKeys) {
+        Disagreement D;
+        D.K = Disagreement::Kind::DedupVerdictMismatch;
+        D.Level = Base;
+        D.Detail = "dedup=exact vs dedup=off under " +
+                   std::string(isolationLevelName(Base)) + ": " +
+                   diffSummary(ExactKeys, RefKeys, "exact", "off");
+        Out.push_back(std::move(D));
+      }
+
+      // Symmetry mode may drop renaming-isomorphic histories but must
+      // never invent one (sub-multiset of the reference) and must reach
+      // the same violation verdict at every swept level. Deliberately the
+      // unmutated production checkers on both sides (mirroring the
+      // incremental leg): this leg guards dedup itself, not the axioms.
+      ExplorerConfig Sym = Recursive;
+      Sym.Dedup = DedupMode::Symmetry;
+      std::vector<History> SymHistories =
+          enumerateHistories(P, Sym).Histories;
+      auto SymKeys = keyMultiset(SymHistories);
+      bool Included = true;
+      for (const auto &[Key, N] : SymKeys) {
+        auto It = RefKeys.find(Key);
+        if (It == RefKeys.end() || It->second < N) {
+          Included = false;
+          break;
+        }
+      }
+      if (!Included) {
+        Disagreement D;
+        D.K = Disagreement::Kind::DedupVerdictMismatch;
+        D.Level = Base;
+        D.Detail = "dedup=symmetry emitted histories outside the dedup=off "
+                   "set under " +
+                   std::string(isolationLevelName(Base)) + ": " +
+                   diffSummary(SymKeys, RefKeys, "symmetry", "off");
+        Out.push_back(std::move(D));
+      } else {
+        for (IsolationLevel L : Verdicts) {
+          auto HasViolation = [&](const std::vector<History> &Hs) {
+            for (const History &H : Hs)
+              if (!isConsistent(H, L))
+                return true;
+            return false;
+          };
+          bool RefViolates = HasViolation(Ref.Histories);
+          bool SymViolates = HasViolation(SymHistories);
+          if (RefViolates != SymViolates) {
+            Disagreement D;
+            D.K = Disagreement::Kind::DedupVerdictMismatch;
+            D.Level = L;
+            D.Detail =
+                "dedup=symmetry under " +
+                std::string(isolationLevelName(Base)) + " changes the " +
+                isolationLevelName(L) + " violation verdict (off: " +
+                (RefViolates ? "violating" : "clean") + ", symmetry: " +
+                (SymViolates ? "violating" : "clean") + ")";
+            Out.push_back(std::move(D));
+          }
         }
       }
     }

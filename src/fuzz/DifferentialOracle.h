@@ -96,6 +96,13 @@ struct Disagreement {
     /// window budget (stale-read refusals excepted) — the leg that
     /// guards eviction soundness/completeness and the trace round-trip.
     StreamingVerdictMismatch,
+    /// A dedup-enabled exploration broke its contract against the
+    /// dedup-off reference: exact mode must reproduce the output multiset
+    /// verbatim (optimal runs contain no duplicate items), symmetry mode
+    /// must emit a sub-multiset with identical per-level
+    /// violation-existence verdicts — the leg that guards the subtree
+    /// memoization of core/Dedup.h.
+    DedupVerdictMismatch,
   };
 
   Kind K = Kind::CheckerVerdictMismatch;
@@ -157,6 +164,12 @@ struct OracleConfig {
   /// budget and skip the comparison; malformed rejections of a
   /// round-tripped trace always count as disagreements.
   bool DiffStreaming = true;
+  /// Re-run each in-budget base with --dedup=exact (multiset equality
+  /// with the reference — optimal runs have nothing to skip) and
+  /// --dedup=symmetry (sub-multiset plus per-level violation-existence
+  /// equality). Like CrossCheckIncremental, deliberately *not* subject to
+  /// Mutation: the leg guards the dedup/reference equivalence itself.
+  bool DiffDedup = true;
   /// Window budgets of the streaming leg (0 = never evict).
   std::vector<unsigned> StreamingWindows = {0, 4, 8};
   /// At most this many explorer outputs per program case go through the

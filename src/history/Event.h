@@ -22,6 +22,8 @@
 #ifndef TXDPOR_HISTORY_EVENT_H
 #define TXDPOR_HISTORY_EVENT_H
 
+#include "support/Hash.h"
+
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -113,7 +115,12 @@ template <> struct hash<txdpor::TxnUid> {
 };
 template <> struct hash<txdpor::EventRef> {
   size_t operator()(const txdpor::EventRef &R) const {
-    return std::hash<uint64_t>()(R.Txn.packed() * 1000003u + R.Pos);
+    // Full 64-bit avalanche mix. The previous 32-bit multiplier
+    // (packed() * 1000003u + Pos) left the high bits undiffused: for the
+    // common Session=0 case the result never exceeded ~2^30, so every
+    // EventRef hashed into the low quarter of the space.
+    return static_cast<size_t>(
+        txdpor::hashCombine64(txdpor::splitmix64(R.Txn.packed()), R.Pos));
   }
 };
 } // namespace std

@@ -7,6 +7,8 @@
 
 #include "history/History.h"
 
+#include "support/Hash.h"
+
 #include <algorithm>
 #include <sstream>
 
@@ -281,7 +283,6 @@ bool History::sameHistory(const History &Other) const {
 }
 
 static uint64_t hashCombine(uint64_t H, uint64_t V) {
-  // 64-bit mix derived from splitmix64's finalizer.
   H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
   return H;
 }
@@ -299,11 +300,18 @@ static uint64_t hashLog(const TransactionLog &Log) {
   return H;
 }
 
+uint64_t txdpor::hashTransactionLog(const TransactionLog &Log) {
+  return hashLog(Log);
+}
+
 uint64_t History::hashIgnoringOrder() const {
   // Per-log hashes are combined commutatively so block order is ignored.
+  // Each one goes through the splitmix64 finalizer first: with the old
+  // `H += hashLog(L) * C` the constant factored out of the sum, so any
+  // two histories whose per-log hashes had equal sums collided.
   uint64_t H = 0x12345678u;
   for (const LogPtr &Log : Logs)
-    H += hashLog(*Log) * 0x9e3779b97f4a7c15ULL;
+    H += splitmix64(hashLog(*Log));
   return H;
 }
 

@@ -257,6 +257,12 @@ private:
   mutable std::shared_ptr<const Relation> CachedCausal;
 };
 
+/// The per-log hash folded (after a splitmix64 avalanche) into
+/// History::hashIgnoringOrder. Exposed so tests can construct histories
+/// whose per-log hash *sums* collide — the regression shape for the old
+/// commutative combine.
+uint64_t hashTransactionLog(const TransactionLog &Log);
+
 } // namespace txdpor
 
 #endif // TXDPOR_HISTORY_HISTORY_H

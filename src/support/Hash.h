@@ -1,0 +1,49 @@
+//===- support/Hash.h - 64-bit avalanche mixing primitives ----------------===//
+//
+// Part of txdpor, a reproduction of "Dynamic Partial Order Reduction for
+// Checking Correctness against Transaction Isolation Levels" (PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared hashing primitives: the splitmix64 finalizer (the same mixer the
+/// deterministic Rng in support/Rng.h is built on) and an order-sensitive
+/// 64-bit combiner derived from it. These are the building blocks for
+/// History::hashIgnoringOrder, std::hash<EventRef> and the WorkItem
+/// fingerprints in core/Dedup.h.
+///
+/// Why a full-avalanche mix matters here: a commutative combine like
+/// `H += hashLog(L) * C` lets the constant factor out of the sum, so any
+/// two histories whose per-element hashes merely have equal *sums* collide.
+/// Mixing each element through splitmix64 before the commutative combine
+/// makes the sum a sum of avalanched values, which no longer has that
+/// linear structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TXDPOR_SUPPORT_HASH_H
+#define TXDPOR_SUPPORT_HASH_H
+
+#include <cstdint>
+
+namespace txdpor {
+
+/// The splitmix64 finalizer: a fixed, implementation-defined-free bit mixer
+/// with full avalanche (every input bit flips ~half the output bits).
+inline uint64_t splitmix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Order-sensitive combiner: folds \p V into the running hash \p H with an
+/// avalanche mix per step, so (a,b) and (b,a) land far apart.
+inline uint64_t hashCombine64(uint64_t H, uint64_t V) {
+  return splitmix64(H ^ (splitmix64(V) + 0x9e3779b97f4a7c15ULL + (H << 6) +
+                         (H >> 2)));
+}
+
+} // namespace txdpor
+
+#endif // TXDPOR_SUPPORT_HASH_H

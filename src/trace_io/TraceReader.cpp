@@ -159,6 +159,10 @@ TraceReader::TraceReader(std::istream &In) : In(In) {
 bool TraceReader::nextLine(std::string &Line) {
   while (std::getline(In, Line)) {
     ++LineNo;
+    // CRLF-saved traces: getline keeps the trailing '\r', which would
+    // otherwise embed itself in the last token of every line.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
     size_t First = Line.find_first_not_of(" \t\r");
     if (First == std::string::npos || Line[First] == '#')
       continue;

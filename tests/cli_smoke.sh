@@ -67,6 +67,17 @@ expect_reject "expects a non-negative integer" fuzz --seed=-1
 expect_reject "must be non-negative" fuzz --time-budget=-9
 expect_reject "up to 100" fuzz --history-percent=101
 
+# Dedup flag: bad modes are rejected, the baseline-explorer combinations
+# are refused (dedup lives in the swapping engine), good forms accepted.
+expect_reject "must be one of off, exact, symmetry" --dedup=bogus
+expect_reject "needs the swapping explorer" --dedup --dfs --sessions 2
+expect_reject "needs the swapping explorer" --dedup=exact --walks 8 \
+  --sessions 2
+expect_accept --app identical --sessions 2 --txns 1 --dedup
+expect_accept --app identical --sessions 2 --txns 1 --dedup=exact
+expect_accept --app identical --sessions 2 --txns 1 --dedup=symmetry
+expect_accept --app identical --sessions 2 --txns 1 --dedup=off --dfs
+
 # Level handling: --base restrictions, --levels spec validation.
 expect_reject "unknown isolation level" --base=XX
 expect_reject "must be one of true, RC, RA, CC" --base=SER

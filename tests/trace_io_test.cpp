@@ -187,3 +187,34 @@ TEST(TraceRejectionTest, MalformedCorpusIsRefusedWithDiagnostics) {
     EXPECT_FALSE(Diag.empty()) << Name;
   }
 }
+
+TEST(TraceRejectionTest, CrlfTraceParsesLikeLf) {
+  // tests/traces/clean_tiny_crlf.litmus is the golden clean_tiny trace
+  // with Windows line endings. nextLine used to leave the trailing '\r'
+  // on every line, so the first record failed to tokenize; now both
+  // variants must yield identical headers and records.
+  std::string Dir = std::string(TXDPOR_SOURCE_DIR) + "/tests/traces/";
+  std::ifstream LfIn(Dir + "clean_tiny.litmus");
+  std::ifstream CrlfIn(Dir + "clean_tiny_crlf.litmus");
+  ASSERT_TRUE(LfIn.is_open() && CrlfIn.is_open());
+
+  TraceReader Lf(LfIn), Crlf(CrlfIn);
+  ASSERT_TRUE(Lf.valid()) << Lf.error();
+  ASSERT_TRUE(Crlf.valid()) << "CRLF golden rejected: " << Crlf.error();
+  EXPECT_EQ(Crlf.header().NumVars, Lf.header().NumVars);
+  EXPECT_EQ(Crlf.header().NumSessions, Lf.header().NumSessions);
+
+  TransactionLog A{TxnUid::init()}, B{TxnUid::init()};
+  unsigned Records = 0;
+  for (;;) {
+    TraceReader::Next NA = Lf.next(A);
+    TraceReader::Next NB = Crlf.next(B);
+    ASSERT_EQ(NA, NB) << "readers diverged after " << Records << " records ("
+                      << Lf.error() << " / " << Crlf.error() << ")";
+    if (NA != TraceReader::Next::Txn)
+      break;
+    ++Records;
+    expectSameLog(A, B, "CRLF record " + std::to_string(Records));
+  }
+  EXPECT_GT(Records, 0u) << "golden trace parsed as empty";
+}

@@ -68,6 +68,7 @@ struct CliOptions {
   std::optional<IsolationLevel> Classify;
   bool UseDfs = false;
   std::optional<uint64_t> Walks;
+  DedupMode Dedup = DedupMode::Off;
   int64_t BudgetMs = 30000;
   unsigned Threads = 1;
   unsigned SplitFactor = 4;
@@ -173,7 +174,9 @@ void printUsage() {
       "                      see txdpor-cli check-trace --help\n"
       "  gen-trace [...]     generate a synthetic trace; see\n"
       "                      txdpor-cli gen-trace --help\n"
-      "  --app NAME          shoppingCart|twitter|courseware|wikipedia|tpcc\n"
+      "  --app NAME          shoppingCart|twitter|courseware|wikipedia|\n"
+      "                      tpcc|identical (identical = every session\n"
+      "                      runs the same transaction sequence)\n"
       "  --sessions N        sessions in the client program (default 3)\n"
       "  --txns N            transactions per session (default 3)\n"
       "  --seed N            client-generation seed (default 1)\n"
@@ -188,6 +191,10 @@ void printUsage() {
       "                      first violation\n"
       "  --dfs               run the no-POR DFS baseline instead\n"
       "  --walks N           run N random-walk samples instead\n"
+      "  --dedup[=MODE]      subtree dedup: off|exact|symmetry (default\n"
+      "                      off; bare --dedup means symmetry). exact\n"
+      "                      skips repeated WorkItems, symmetry also\n"
+      "                      collapses session-renaming-isomorphic ones\n"
       "  --budget-ms N       wall-clock budget (default 30000)\n"
       "  --threads N         worker threads for the exploration (default 1\n"
       "                      = sequential; the output history set is\n"
@@ -244,6 +251,11 @@ public:
   }
   const std::string &option() const { return Opt; }
   bool is(const char *Name) const { return Opt == Name; }
+
+  /// The "--opt=value" inline value, if one was given. For options whose
+  /// value is *optional*: unlike value(), never consumes the next argv
+  /// token, so "--dedup --threads 2" parses as a bare --dedup.
+  const std::optional<std::string> &inlineValue() const { return Inline; }
 
   /// For boolean flags: rejects a stray inline value so "--minimize=off"
   /// is a diagnostic, not a silently-enabled flag.
@@ -439,6 +451,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!R.uint64Value(W))
         return false;
       Options.Walks = W;
+    } else if (R.is("--dedup")) {
+      if (!R.inlineValue()) {
+        Options.Dedup = DedupMode::Symmetry;
+      } else if (*R.inlineValue() == "off") {
+        Options.Dedup = DedupMode::Off;
+      } else if (*R.inlineValue() == "exact") {
+        Options.Dedup = DedupMode::Exact;
+      } else if (*R.inlineValue() == "symmetry") {
+        Options.Dedup = DedupMode::Symmetry;
+      } else {
+        std::cerr << "error: --dedup must be one of off, exact, symmetry "
+                     "(got '"
+                  << *R.inlineValue() << "')\n";
+        return false;
+      }
     } else if (R.is("--budget-ms")) {
       if (!R.budgetValue(Options.BudgetMs))
         return false;
@@ -1119,6 +1146,12 @@ int main(int Argc, char **Argv) {
                  "(drop --dfs/--walks)\n";
     return 1;
   }
+  if (Options.Dedup != DedupMode::Off &&
+      (Options.UseDfs || Options.Walks)) {
+    std::cerr << "error: --dedup needs the swapping explorer "
+                 "(drop --dfs/--walks)\n";
+    return 1;
+  }
 
   // Armed before any exploration; its destructor writes the trace on
   // every exit path below (including --walks/--dfs early returns).
@@ -1209,6 +1242,7 @@ int main(int Argc, char **Argv) {
   Config.Threads = Options.Threads;
   Config.SplitFactor = Options.SplitFactor;
   Config.SplitDepth = Options.SplitDepth;
+  Config.Dedup = Options.Dedup;
 
   std::vector<History> Violations;
   uint64_t Outputs = 0;
@@ -1269,6 +1303,11 @@ int main(int Argc, char **Argv) {
               << Stats.StealSuccesses << " steals ("
               << Stats.StealFailures << " failed sweeps), "
               << Stats.IdleParks << " idle parks\n";
+  if (Options.Dedup != DedupMode::Off)
+    std::cout << "dedup ("
+              << (Options.Dedup == DedupMode::Exact ? "exact" : "symmetry")
+              << "): " << Stats.DedupSkips << " subtrees skipped of "
+              << Stats.DedupChecks << " checked\n";
 
   if (Options.Classify) {
     std::cout << "classification against "
