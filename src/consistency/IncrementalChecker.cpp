@@ -11,6 +11,7 @@
 #include "trace/Trace.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace txdpor;
 
@@ -338,20 +339,15 @@ ConstraintState::ConstraintState(const ConstraintState &Old,
   }
 }
 
-ConstraintState::ConstraintState(const History &H,
-                                 const LevelAssignment &Levels,
-                                 unsigned MaxTxns)
-    : Levels(Levels) {
-  assert(this->Levels.allPrefixClosedCausallyExtensible() &&
+void ConstraintState::initFromHistory(const History &H, unsigned MaxTxns) {
+  assert(Levels.allPrefixClosedCausallyExtensible() &&
          "the incremental commit test covers the saturable levels only");
-  TXDPOR_TRACE_SPAN(Check, BulkRebuild, H.numTxns());
-  trace::bump(trace::Counter::BulkRebuilds);
   const unsigned N = H.numTxns();
   assert(N >= 1 && H.txn(0).isInit() &&
          "history must start with the initial transaction");
   MaxN = std::max(MaxTxns, N);
   Words = (MaxN + 63) / 64;
-  TrivialOnly = this->Levels.strongest() == IsolationLevel::Trivial;
+  TrivialOnly = Levels.strongest() == IsolationLevel::Trivial;
   SoWr = Relation(MaxN);
   CausalClosure = Relation(MaxN);
   if (!TrivialOnly)
@@ -367,6 +363,22 @@ ConstraintState::ConstraintState(const History &H,
   NumTxns = 1;
   for (VarId V : InitVars)
     setBit(&WriterBits[static_cast<size_t>(V) * Words], 0);
+}
+
+void ConstraintState::replayBlocks(const History &H, unsigned From,
+                                   unsigned To) {
+  assert(From == NumTxns && "state must track exactly the blocks below From");
+  assert(From >= 1 && To <= H.numTxns() && "replay range out of bounds");
+  assert(!Inconsistent && "extending an inconsistent state");
+  // Only genuinely incremental continuations get their own span and
+  // counter; a From == 1 replay is the body of a bulk rebuild, whose
+  // constructor already emitted the BulkRebuild span around this call.
+  std::optional<trace::SpanGuard> ReplaySpan;
+  if (From > 1) {
+    ReplaySpan.emplace(trace::Category::Check, trace::Name::PrefixReplay,
+                       From, To - From);
+    trace::bump(trace::Counter::PrefixReplays);
+  }
 
   // Replay the blocks through the same appliers the explorer uses. A
   // pending block need not be last (the readLatest truncations keep the
@@ -379,7 +391,7 @@ ConstraintState::ConstraintState(const History &H,
   std::vector<uint64_t> StashPreds;
   std::vector<ReadRec> StashReads;
 
-  for (unsigned Idx = 1; Idx != N && !Inconsistent; ++Idx) {
+  for (unsigned Idx = From; Idx != To && !Inconsistent; ++Idx) {
     const TransactionLog &Log = H.txn(Idx);
     if (HasOpen) {
       assert(!Stashed && "more than one pending transaction");
@@ -426,4 +438,90 @@ ConstraintState::ConstraintState(const History &H,
     OpenPreds = std::move(StashPreds);
     OpenReads = std::move(StashReads);
   }
+}
+
+ConstraintState::ConstraintState(const History &H,
+                                 const LevelAssignment &Levels,
+                                 unsigned MaxTxns)
+    : Levels(Levels) {
+  TXDPOR_TRACE_SPAN(Check, BulkRebuild, H.numTxns());
+  trace::bump(trace::Counter::BulkRebuilds);
+  initFromHistory(H, MaxTxns);
+  replayBlocks(H, 1, H.numTxns());
+}
+
+ConstraintState::ConstraintState(const History &H,
+                                 const LevelAssignment &Levels,
+                                 unsigned MaxTxns, unsigned PrefixLen)
+    : Levels(Levels) {
+  assert(PrefixLen >= 1 && PrefixLen <= H.numTxns() &&
+         "prefix length out of range");
+  // A from-scratch build, just one that stops early — counted as a bulk
+  // rebuild so the trace totals stay honest about non-incremental work.
+  TXDPOR_TRACE_SPAN(Check, BulkRebuild, PrefixLen);
+  trace::bump(trace::Counter::BulkRebuilds);
+  initFromHistory(H, MaxTxns);
+  replayBlocks(H, 1, PrefixLen);
+}
+
+bool ConstraintState::equivalentTo(const ConstraintState &O) const {
+  if (Inconsistent != O.Inconsistent)
+    return false;
+  if (Inconsistent)
+    return true; // Replays stop at the first cycle; only the verdict holds.
+  if (NumTxns != O.NumTxns || NumVars != O.NumVars ||
+      TrivialOnly != O.TrivialOnly || HasOpen != O.HasOpen)
+    return false;
+  for (unsigned I = 0; I != NumTxns; ++I) {
+    if (SessionOfTxn[I] != O.SessionOfTxn[I])
+      return false;
+    for (unsigned J = 0; J != NumTxns; ++J) {
+      if (SoWr.get(I, J) != O.SoWr.get(I, J) ||
+          CausalClosure.get(I, J) != O.CausalClosure.get(I, J))
+        return false;
+      if (!TrivialOnly && GClosure.get(I, J) != O.GClosure.get(I, J))
+        return false;
+    }
+    for (VarId V = 0; V != NumVars; ++V)
+      if (writesVar(I, V) != O.writesVar(I, V))
+        return false;
+  }
+  if (!HasOpen)
+    return true;
+  if (OpenIdx != O.OpenIdx || OpenLevel != O.OpenLevel)
+    return false;
+  if (OpenReads.size() != O.OpenReads.size())
+    return false;
+  for (size_t I = 0; I != OpenReads.size(); ++I)
+    if (OpenReads[I].Var != O.OpenReads[I].Var ||
+        OpenReads[I].Writer != O.OpenReads[I].Writer)
+      return false;
+  for (unsigned I = 0; I != NumTxns; ++I) {
+    if (testBit(OpenPreds.data(), I) != testBit(O.OpenPreds.data(), I))
+      return false;
+    if (testBit(OpenPreds.data() + Words, I) !=
+        testBit(O.OpenPreds.data() + O.Words, I))
+      return false;
+  }
+  return true;
+}
+
+const ConstraintState &PrefixStateCache::stateFor(unsigned PrefixLen) {
+  assert(PrefixLen >= 1 && PrefixLen <= H.numTxns() &&
+         "prefix length out of range");
+  auto It = ByLen.lower_bound(PrefixLen);
+  if (It != ByLen.end() && It->first == PrefixLen)
+    return It->second;
+  ConstraintState State;
+  if (It == ByLen.begin()) {
+    // No shorter checkpoint yet: build this one from scratch.
+    State = ConstraintState(H, Levels, MaxTxns, PrefixLen);
+  } else {
+    const auto &Prev = *std::prev(It);
+    assert(Prev.second.consistent() && !Prev.second.hasOpenTxn() &&
+           "prefixes of the expanded history are complete and consistent");
+    State = Prev.second;
+    State.replayBlocks(H, Prev.first, PrefixLen);
+  }
+  return ByLen.emplace_hint(It, PrefixLen, std::move(State))->second;
 }

@@ -52,6 +52,7 @@
 #include "support/Relation.h"
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 namespace txdpor {
@@ -87,6 +88,14 @@ public:
   ConstraintState(const History &H, const LevelAssignment &Levels,
                   unsigned MaxTxns = 0);
 
+  /// Like the bulk constructor, but stops after the first \p PrefixLen
+  /// blocks of \p H: the result tracks exactly the prefix [0, PrefixLen).
+  /// Capacity is still sized for all of H (or \p MaxTxns if larger), so
+  /// the state can later be extended with replayBlocks without
+  /// reallocating. Seeds the PrefixStateCache checkpoints.
+  ConstraintState(const History &H, const LevelAssignment &Levels,
+                  unsigned MaxTxns, unsigned PrefixLen);
+
   /// Compacts \p Old to the blocks listed in \p Keep (strictly ascending,
   /// must retain index 0), renumbering every matrix and bitset — the
   /// state-side half of History::retainBlocks. This is deliberately a
@@ -100,6 +109,26 @@ public:
   /// pre-sizes the new capacity (at least Keep.size()).
   ConstraintState(const ConstraintState &Old, const std::vector<unsigned> &Keep,
                   unsigned MaxTxns);
+
+  /// Replays blocks [\p From, \p To) of \p H through the extension
+  /// appliers — the delta half of the bulk constructor, exposed so swap
+  /// children and readLatest truncations can reuse a state of the shared
+  /// prefix instead of rebuilding from block zero. Requires this state to
+  /// track exactly the blocks [0, From) of \p H (asserted structurally in
+  /// debug builds via the block-append discipline). A pending block may
+  /// sit anywhere in [From, To): its probe context is stashed while later
+  /// blocks replay, exactly as in the bulk constructor. Replay stops early
+  /// if a forced edge closes a cycle (consistent() turns false).
+  void replayBlocks(const History &H, unsigned From, unsigned To);
+
+  /// Logical equivalence ignoring capacity: same tracked blocks, closures,
+  /// writer index and open-transaction context below numTxns(). Two
+  /// inconsistent states compare equal regardless of where the replay
+  /// stopped — only the verdict is meaningful then. The cross-assert
+  /// backing the incremental swap-child rebuild (debug builds and the
+  /// DifferentialOracle compare every delta-rebuilt state against the
+  /// bulk-constructed reference with this).
+  bool equivalentTo(const ConstraintState &O) const;
 
   /// False once some read's forced edges closed a cycle: the tracked
   /// history violates the base assignment. Extension appliers must not be
@@ -227,6 +256,10 @@ private:
   /// Begins tracking block \p Idx (bulk and incremental share this).
   void beginBlock(unsigned Idx, TxnUid Uid);
 
+  /// Shared head of the bulk and prefix constructors: sizes every matrix
+  /// for max(MaxTxns, H.numTxns()) and installs the initial transaction.
+  void initFromHistory(const History &H, unsigned MaxTxns);
+
   LevelAssignment Levels;
   unsigned MaxN = 0;    ///< Capacity (every matrix row is sized for this).
   unsigned Words = 0;   ///< Bitset words per row of capacity MaxN.
@@ -273,6 +306,41 @@ private:
     ScratchBuffer &operator=(ScratchBuffer &&) = default;
   };
   mutable ScratchBuffer Scratch;
+};
+
+/// Memoized prefix states of one history: stateFor(L) returns the
+/// ConstraintState tracking exactly blocks [0, L) of H, built by copying
+/// the largest cached checkpoint below L and replaying only the gap.
+///
+/// The swap fan-out after a commit builds one cache per expanded node: the
+/// reorderings share ever-longer prefixes of H (computeReorderings emits
+/// ascending ReaderTxn), and every swapped history and readLatest
+/// truncation is byte-identical to H below its reader block — so each
+/// swap child costs a flat state copy plus a replay of the few blocks at
+/// or after the reader instead of a bulk rebuild from block zero.
+/// Requested lengths need not be monotone (a dropped transaction's
+/// readLatest check can need a longer prefix than the next reordering's
+/// reader), hence checkpoints per exact length rather than one rolling
+/// state.
+///
+/// Single-owner, like the states it hands out; \p H and \p Levels must
+/// outlive the cache and H must not change while it is in use.
+class PrefixStateCache {
+public:
+  PrefixStateCache(const History &H, const LevelAssignment &Levels,
+                   unsigned MaxTxns)
+      : H(H), Levels(Levels), MaxTxns(MaxTxns) {}
+
+  /// The state of prefix [0, \p PrefixLen), 1 <= PrefixLen <= H.numTxns().
+  /// The returned reference stays valid until the cache is destroyed;
+  /// callers copy it before extending.
+  const ConstraintState &stateFor(unsigned PrefixLen);
+
+private:
+  const History &H;
+  const LevelAssignment &Levels;
+  unsigned MaxTxns;
+  std::map<unsigned, ConstraintState> ByLen;
 };
 
 } // namespace txdpor

@@ -11,6 +11,8 @@
 #include "trace/Counters.h"
 #include "trace/Trace.h"
 
+#include <optional>
+
 using namespace txdpor;
 
 namespace {
@@ -56,7 +58,8 @@ ExplorationEngine::ExplorationEngine(const Program &Prog,
     Order = OracleOrder::fromSequence(OracleSequence);
   }
   if (this->Config.Dedup != DedupMode::Off)
-    Dedup = std::make_unique<DedupTable>(Prog, BaseLevels, this->Config.Dedup);
+    Dedup = std::make_unique<DedupTable>(Prog, BaseLevels, this->Config.Dedup,
+                                         this->Config.DedupMaxEntries);
 }
 
 WorkItem ExplorationEngine::initialItem() const {
@@ -64,7 +67,8 @@ WorkItem ExplorationEngine::initialItem() const {
   // Reserve capacity for the whole program up front: every extension of
   // the carried state then works in place, without reallocation.
   ConstraintState State(H, BaseLevels, Prog.totalTxns() + 1);
-  return {std::move(H), CursorMap(), /*Depth=*/1, std::move(State)};
+  return {std::move(H), CursorMap(), /*Depth=*/1, std::move(State),
+          DedupFp()};
 }
 
 bool ExplorationEngine::shouldStop(ExplorationSink &S) const {
@@ -157,7 +161,18 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     return;
   if (Dedup) {
     ++S.Stats.DedupChecks;
-    if (!Dedup->insertIfNew(Dedup->itemFingerprint(Item.H, Item.Cursors))) {
+    // The carried fingerprint state makes the probe O(dirty blocks);
+    // items that arrived with an invalid one (swap children, the root)
+    // fall back to the full walk inside and leave it valid for their
+    // children. Debug builds (and the DedupVerifyCarried oracle legs)
+    // re-derive the fingerprint from scratch and compare.
+    Fingerprint F = Dedup->itemFingerprint(Item.H, Item.Cursors, &Item.Fp);
+    if (Config.DedupVerifyCarried &&
+        F != Dedup->itemFingerprint(Item.H, Item.Cursors))
+      ++S.Stats.DedupFpMismatches;
+    assert(F == Dedup->itemFingerprint(Item.H, Item.Cursors) &&
+           "carried fingerprint drifted from the from-scratch fingerprint");
+    if (!Dedup->insertIfNew(F)) {
       // An item with this canonical fingerprint was already expanded;
       // its subtree's outputs are (a renaming of) ones already emitted.
       ++S.Stats.DedupSkips;
@@ -182,10 +197,12 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // the swap phase would be a no-op (§5.2).
     H.beginTxn(Next.Uid);
     CState.applyBegin(Next.Uid);
+    Item.Fp.noteNewBlock(Next.Uid.Session);
+    Item.Fp.noteCursorDirty(Next.Uid.packed());
     Cursors[Next.Uid.packed()] = TxnCursor::fresh(Prog.txn(Next.Uid));
     ++S.Stats.EventsAdded;
-    Out.push_back(
-        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
+                   std::move(CState), std::move(Item.Fp)});
     return;
   }
 
@@ -199,6 +216,7 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     // assignment the new read's axiom instances use the *reading
     // session's* level, so weaker sessions admit more writers.
     H.appendEvent(Idx, Event::makeRead(Next.Op.Var));
+    Item.Fp.markDirty(Idx);
     ++S.Stats.EventsAdded;
     uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
 
@@ -208,8 +226,9 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
       TxnCursor &Cur = Cursors[Next.Uid.packed()];
       Cur = Next.Advanced;
       applyRead(Code, Cur, H.readValue(Idx, Pos));
+      Item.Fp.noteCursorDirty(Next.Uid.packed());
       Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
-                     std::move(CState)});
+                     std::move(CState), std::move(Item.Fp)});
       return;
     }
 
@@ -255,13 +274,19 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
       Branch.setWriter(Idx, Pos, H.txn(W).uid());
       ConstraintState BranchState = CState;
       BranchState.applyExternalRead(W, Next.Op.Var);
+      DedupFp BranchFp = Item.Fp; // Idx is already marked dirty above.
+      if (Dedup && Dedup->mode() == DedupMode::Symmetry &&
+          !H.txn(W).uid().isInit())
+        BranchFp.noteReadPair(Next.Uid.Session, H.txn(W).uid().Session);
+      BranchFp.noteCursorDirty(Next.Uid.packed());
       CursorMap BranchCursors = Cursors;
       TxnCursor &Cur = BranchCursors[Next.Uid.packed()];
       Cur = Next.Advanced;
       applyRead(Code, Cur, Branch.readValue(Idx, Pos));
       ++S.Stats.ReadBranches;
       Out.push_back({std::move(Branch), std::move(BranchCursors),
-                     Item.Depth + 1, std::move(BranchState)});
+                     Item.Depth + 1, std::move(BranchState),
+                     std::move(BranchFp)});
       // A read is never a commit: the swap phase would be a no-op.
     }
     return;
@@ -269,34 +294,40 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
 
   case DbOp::Kind::Write: {
     H.appendEvent(Idx, Event::makeWrite(Next.Op.Var, Next.Op.Val));
+    Item.Fp.markDirty(Idx);
     ++S.Stats.EventsAdded;
     // Causal extensibility (Thm. 3.4) guarantees writes never violate the
     // base level when the pending transaction is (so ∪ wr)+-maximal — the
     // carried state needs no update either: a write adds no edge, and its
     // visibility starts at the commit (§2.2.1).
     assert(Base.isConsistent(H) && "write extension broke consistency");
+    Item.Fp.noteCursorDirty(Next.Uid.packed());
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyWrite(Cursors[Next.Uid.packed()]);
-    Out.push_back(
-        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
+                   std::move(CState), std::move(Item.Fp)});
     return;
   }
 
   case DbOp::Kind::Abort: {
     H.appendEvent(Idx, Event::makeAbort());
     CState.applyAbort();
+    Item.Fp.markDirty(Idx);
+    Item.Fp.noteCursorDirty(Next.Uid.packed());
     ++S.Stats.EventsAdded;
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyFinish(Cursors[Next.Uid.packed()]);
     // Aborted transactions are never swap targets (§5.2, footnote 5).
-    Out.push_back(
-        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
+                   std::move(CState), std::move(Item.Fp)});
     return;
   }
 
   case DbOp::Kind::Commit: {
     H.appendEvent(Idx, Event::makeCommit());
     CState.applyCommit(H.txn(Idx));
+    Item.Fp.markDirty(Idx);
+    Item.Fp.noteCursorDirty(Next.Uid.packed());
     ++S.Stats.EventsAdded;
     Cursors[Next.Uid.packed()] = Next.Advanced;
     applyFinish(Cursors[Next.Uid.packed()]);
@@ -318,30 +349,52 @@ void ExplorationEngine::expandItem(WorkItem Item, std::vector<WorkItem> &Out,
     std::vector<WorkItem> SwapChildren;
     std::vector<Reordering> Reorderings = computeReorderings(H);
     TXDPOR_TRACE_SPAN(Swap, CommitFanout, Reorderings.size());
+    // One prefix-state cache serves the whole fan-out: every swapped
+    // history and readLatest truncation is byte-identical to H below its
+    // reader block, so each rebuild is a flat copy of the cached prefix
+    // state plus a replay of the few blocks at or after the reader —
+    // instead of the bulk O(history) rebuild per candidate this loop used
+    // to pay. The bulk constructor stays as the debug cross-check.
+    std::optional<PrefixStateCache> PrefixCache;
+    if (!Reorderings.empty())
+      PrefixCache.emplace(H, BaseLevels, Prog.totalTxns() + 1);
     for (const Reordering &R : Reorderings) {
       TXDPOR_TRACE_SPAN(Swap, SwapChild, R.ReaderTxn, R.ReadPos);
       ++S.Stats.SwapsConsidered;
       unsigned FirstChanged = 0;
       History Swapped = applySwap(H, R, &FirstChanged);
       ++S.Stats.ConsistencyChecks;
-      ConstraintState SwapState(Swapped, BaseLevels, Prog.totalTxns() + 1);
+      ConstraintState SwapState = PrefixCache->stateFor(R.ReaderTxn);
+      SwapState.replayBlocks(Swapped, R.ReaderTxn, Swapped.numTxns());
+#ifndef NDEBUG
+      {
+        ConstraintState BulkRef(Swapped, BaseLevels, Prog.totalTxns() + 1);
+        assert(SwapState.equivalentTo(BulkRef) &&
+               "incremental swap-child rebuild diverged from the bulk state");
+      }
+#endif
       assert(SwapState.consistent() == Base.isConsistent(Swapped) &&
              "incremental swap verdict drifted from the scratch checker");
       if (!SwapState.consistent())
         continue;
       if (!optimalityRestrictionsHold(H, R, BaseLevels, Config.CheckSwapped,
                                       Config.CheckReadLatest,
-                                      &S.Stats.ConsistencyChecks, Order))
+                                      &S.Stats.ConsistencyChecks, Order,
+                                      &*PrefixCache))
         continue;
       ++S.Stats.SwapsApplied;
       trace::bump(trace::Counter::SwapChildrenBuilt);
       CursorMap SwapCursors =
           replayCursorsFrom(Prog, Swapped, Cursors, FirstChanged);
+      // The carried dedup fingerprint is deliberately left at its default
+      // (invalid): a swap truncates and drops blocks, so the child's
+      // first probe rebuilds from its history.
       SwapChildren.push_back({std::move(Swapped), std::move(SwapCursors),
-                              Item.Depth + 1, std::move(SwapState)});
+                              Item.Depth + 1, std::move(SwapState),
+                              DedupFp()});
     }
-    Out.push_back(
-        {std::move(H), std::move(Cursors), Item.Depth + 1, std::move(CState)});
+    Out.push_back({std::move(H), std::move(Cursors), Item.Depth + 1,
+                   std::move(CState), std::move(Item.Fp)});
     for (WorkItem &Child : SwapChildren)
       Out.push_back(std::move(Child));
     return;

@@ -72,6 +72,10 @@ struct WorkItem {
   /// so ValidWrites probes candidate writers against it instead of
   /// rebuilding the constraint graph per candidate (§5.1).
   ConstraintState CState;
+  /// The carried dedup fingerprint state (core/Dedup.h), updated O(Δ) as
+  /// the engine extends the item; default (invalid) when dedup is off and
+  /// for swap children, whose next probe rebuilds it from the history.
+  DedupFp Fp;
 };
 
 /// Mutable per-walk (per-worker) state threaded through expandItem. The
@@ -133,6 +137,9 @@ public:
   /// ExplorerConfig::BaseLevels for the resolution order). Not mixed for
   /// classic single-level runs.
   const LevelAssignment &baseLevels() const { return BaseLevels; }
+  /// Memo-table CLOCK evictions so far (0 when dedup is off or the table
+  /// is unbounded); drivers fold this into ExplorerStats at run end.
+  uint64_t dedupEvictions() const { return Dedup ? Dedup->evictions() : 0; }
 
 private:
   /// What Next(P, h, locals) returned (§5.1).

@@ -46,6 +46,11 @@ void ExplorerStats::merge(const ExplorerStats &Other) {
   FrontierItems += Other.FrontierItems;
   DedupChecks += Other.DedupChecks;
   DedupSkips += Other.DedupSkips;
+  // Table-level totals, sampled once at run end by the owning driver and
+  // never per worker — take the max so merging worker stats (all zero)
+  // into the sampled aggregate cannot double-count.
+  DedupEvictions = std::max(DedupEvictions, Other.DedupEvictions);
+  DedupFpMismatches += Other.DedupFpMismatches;
   TimedOut = TimedOut || Other.TimedOut;
   HitEndStateCap = HitEndStateCap || Other.HitEndStateCap;
   ElapsedMillis += Other.ElapsedMillis;
@@ -70,6 +75,7 @@ ExplorerStats Explorer::run(const HistoryVisitor &VisitFn) {
 
   S.Stats.ElapsedMillis = Timer.elapsedMillis();
   S.Stats.PeakRssKb = peakRssKb();
+  S.Stats.DedupEvictions = Engine.dedupEvictions();
   return S.Stats;
 }
 

@@ -166,7 +166,8 @@ bool txdpor::isSwappedRead(const History &H, unsigned ReaderTxn,
 
 bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
                          uint32_t ReadPos, unsigned TargetTxn,
-                         const LevelAssignment &Base) {
+                         const LevelAssignment &Base,
+                         PrefixStateCache *Cache) {
   TXDPOR_TRACE_SPAN(Check, ReadsLatest, ReaderTxn, ReadPos);
   trace::bump(trace::Counter::ReadsLatestChecks);
   const TransactionLog &Reader = H.txn(ReaderTxn);
@@ -183,7 +184,20 @@ bool txdpor::readsLatest(const History &H, unsigned ReaderTxn,
   // One incremental state for the truncation (its open transaction is the
   // truncated reader, pending mid-order); every candidate is then a pure
   // probe instead of a history copy plus a scratch consistency check.
-  ConstraintState State(Trunc, Base);
+  // With a prefix cache, even that one state is O(Δ): Trunc keeps
+  // [0, ReaderTxn) byte-identical to H, so we copy the cached prefix
+  // state and replay only the truncated reader and the kept causal past.
+  ConstraintState State =
+      Cache ? [&] {
+        ConstraintState S = Cache->stateFor(ReaderTxn);
+        S.replayBlocks(Trunc, ReaderTxn, Trunc.numTxns());
+#ifndef NDEBUG
+        assert(S.equivalentTo(ConstraintState(Trunc, Base)) &&
+               "incremental truncation rebuild diverged from the bulk state");
+#endif
+        return S;
+      }()
+            : ConstraintState(Trunc, Base);
   assert(State.consistent() &&
          "truncations of a consistent history stay consistent (Thm. 3.2)");
   assert(State.hasOpenTxn() && State.openTxn() == *NewReader &&
@@ -210,7 +224,8 @@ bool txdpor::optimalityRestrictionsHold(const History &H, const Reordering &R,
                                         bool CheckSwapped,
                                         bool CheckReadLatest,
                                         uint64_t *NumChecks,
-                                        const OracleOrder &Order) {
+                                        const OracleOrder &Order,
+                                        PrefixStateCache *Cache) {
   unsigned TIdx = H.numTxns() - 1;
   if (!CheckSwapped && !CheckReadLatest)
     return true;
@@ -221,7 +236,7 @@ bool txdpor::optimalityRestrictionsHold(const History &H, const Reordering &R,
     if (CheckReadLatest) {
       if (NumChecks)
         ++*NumChecks;
-      if (!readsLatest(H, TxnIdx, Pos, TIdx, Base))
+      if (!readsLatest(H, TxnIdx, Pos, TIdx, Base, Cache))
         return false;
     }
     return true;

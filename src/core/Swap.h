@@ -36,6 +36,8 @@
 
 namespace txdpor {
 
+class PrefixStateCache;
+
 /// A re-ordering candidate: the external read at position \c ReadPos of
 /// transaction \c ReaderTxn, to be re-ordered with the history's last
 /// transaction (which computeReorderings guarantees is complete).
@@ -115,8 +117,15 @@ bool isSwappedRead(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
 /// candidate writer is a readAdmits probe against it — the previous
 /// implementation copied and scratch-checked a whole history per
 /// candidate. \p TargetTxn is the index of t in \p H.
+///
+/// When \p Cache (a PrefixStateCache over \p H with the same \p Base) is
+/// provided, the truncation's state is rebuilt in O(Δ): the truncated
+/// history is byte-identical to \p H below block \p ReaderTxn, so the
+/// cached prefix state is copied and only blocks from \p ReaderTxn on are
+/// replayed. Debug builds cross-assert against the bulk construction.
 bool readsLatest(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
-                 unsigned TargetTxn, const LevelAssignment &Base);
+                 unsigned TargetTxn, const LevelAssignment &Base,
+                 PrefixStateCache *Cache = nullptr);
 
 /// The §5.3 redundancy restrictions of Optimality — swapped(r'') and
 /// readLatest for every read in D ∪ {r} — *without* the consistency check
@@ -124,12 +133,15 @@ bool readsLatest(const History &H, unsigned ReaderTxn, uint32_t ReadPos,
 /// already built (and kept, for the swap child) the swapped history's
 /// ConstraintState; optimalityHolds() below is the self-contained
 /// combination.
+/// \p Cache, when provided, is forwarded to every readsLatest() call so
+/// the whole fan-out shares one set of O(Δ)-rebuilt prefix states.
 bool optimalityRestrictionsHold(const History &H, const Reordering &R,
                                 const LevelAssignment &Base,
                                 bool CheckSwapped = true,
                                 bool CheckReadLatest = true,
                                 uint64_t *NumChecks = nullptr,
-                                const OracleOrder &Order = OracleOrder());
+                                const OracleOrder &Order = OracleOrder(),
+                                PrefixStateCache *Cache = nullptr);
 
 /// The full Optimality(h<, r, t, locals) condition of §5.3: the swapped
 /// history satisfies the base assignment, and the restrictions above

@@ -13,6 +13,7 @@
 #include "consistency/StreamingChecker.h"
 #include "consistency/Witness.h"
 #include "core/Enumerate.h"
+#include "core/Swap.h"
 #include "parallel/ParallelExplorer.h"
 #include "trace_io/TraceReader.h"
 
@@ -85,6 +86,10 @@ const char *txdpor::fuzz::disagreementKindName(Disagreement::Kind K) {
     return "streaming-verdict-mismatch";
   case Disagreement::Kind::DedupVerdictMismatch:
     return "dedup-verdict-mismatch";
+  case Disagreement::Kind::IncrementalSwapStateMismatch:
+    return "incremental-swap-state-mismatch";
+  case Disagreement::Kind::CarriedFingerprintMismatch:
+    return "carried-fingerprint-mismatch";
   }
   return "unknown";
 }
@@ -99,7 +104,9 @@ txdpor::fuzz::disagreementKindByName(const std::string &Name) {
         Disagreement::Kind::WitnessMismatch,
         Disagreement::Kind::IncrementalVerdictMismatch,
         Disagreement::Kind::StreamingVerdictMismatch,
-        Disagreement::Kind::DedupVerdictMismatch})
+        Disagreement::Kind::DedupVerdictMismatch,
+        Disagreement::Kind::IncrementalSwapStateMismatch,
+        Disagreement::Kind::CarriedFingerprintMismatch})
     if (Name == disagreementKindName(K))
       return K;
   return std::nullopt;
@@ -180,6 +187,43 @@ diffIncremental(const History &H, const LevelAssignment &Levels) {
              (Scratch ? "consistent" : "inconsistent") + " under " +
              Levels.str();
   return D;
+}
+
+/// The swap-child-rebuild diff of one history under one assignment: the
+/// state of every reordering candidate's swapped history is built both
+/// ways — bulk from block zero, and incrementally by copying the cached
+/// prefix state below the reader and replaying only the changed blocks —
+/// and the two must be logically equivalent. The leg that keeps the
+/// engine's O(delta) swap fan-out rebuild honest against the bulk
+/// constructor it replaced on the hot path.
+std::optional<Disagreement>
+diffSwapRebuild(const History &H, const LevelAssignment &Levels) {
+  if (!Levels.allPrefixClosedCausallyExtensible())
+    return std::nullopt;
+  std::vector<Reordering> Rs = computeReorderings(H);
+  if (Rs.empty())
+    return std::nullopt;
+  PrefixStateCache Cache(H, Levels, 0);
+  for (const Reordering &R : Rs) {
+    History Swapped = applySwap(H, R);
+    ConstraintState Bulk(Swapped, Levels);
+    ConstraintState Incr = Cache.stateFor(R.ReaderTxn);
+    Incr.replayBlocks(Swapped, R.ReaderTxn, Swapped.numTxns());
+    if (Incr.equivalentTo(Bulk))
+      continue;
+    Disagreement D;
+    D.K = Disagreement::Kind::IncrementalSwapStateMismatch;
+    D.Level = Levels.strongest();
+    D.Culprit = H;
+    D.ProductionVerdict = Incr.consistent();
+    D.ReferenceVerdict = Bulk.consistent();
+    D.Detail = "incremental swap-child rebuild (reader txn " +
+               std::to_string(R.ReaderTxn) + ", read pos " +
+               std::to_string(R.ReadPos) +
+               ") is not equivalent to the bulk state under " + Levels.str();
+    return D;
+  }
+  return std::nullopt;
 }
 
 /// Outcome of one windowed streaming re-check of a serialized history.
@@ -293,6 +337,9 @@ void DifferentialOracle::checkOneHistory(
         continue;
       if (std::optional<Disagreement> D =
               diffIncremental(H, LevelAssignment::uniform(Level)))
+        Out.push_back(std::move(*D));
+      if (std::optional<Disagreement> D =
+              diffSwapRebuild(H, LevelAssignment::uniform(Level)))
         Out.push_back(std::move(*D));
     }
   }
@@ -454,17 +501,38 @@ void DifferentialOracle::checkMixedSemantics(
   // exercised by the uniform leg; here the set containment is the
   // mixed-specific property.
   if (Config.DiffDedup) {
+    // DedupVerifyCarried mirrors the uniform leg: the carried-fingerprint
+    // maintenance must survive mixed bases too (different per-session
+    // levels shrink the structural classes it canonicalizes over).
     ExplorerConfig Exact = Recursive;
     Exact.Dedup = DedupMode::Exact;
-    auto ExactKeys = keyMultiset(enumerateHistories(P, Exact).Histories);
+    Exact.DedupVerifyCarried = true;
+    EnumerationResult ExactRes = enumerateHistories(P, Exact);
+    auto ExactKeys = keyMultiset(ExactRes.Histories);
     if (ExactKeys != RefKeys)
       Out.push_back(MakeDisagreement(
           Disagreement::Kind::DedupVerdictMismatch,
           "dedup=exact vs dedup=off under mix(" + Resolved.str() +
               "): " + diffSummary(ExactKeys, RefKeys, "exact", "off")));
+    if (ExactRes.Stats.DedupFpMismatches != 0)
+      Out.push_back(MakeDisagreement(
+          Disagreement::Kind::CarriedFingerprintMismatch,
+          "dedup=exact under mix(" + Resolved.str() + "): " +
+              std::to_string(ExactRes.Stats.DedupFpMismatches) +
+              " carried fingerprints differ from the from-scratch "
+              "fingerprint"));
     ExplorerConfig Sym = Recursive;
     Sym.Dedup = DedupMode::Symmetry;
-    auto SymKeys = keyMultiset(enumerateHistories(P, Sym).Histories);
+    Sym.DedupVerifyCarried = true;
+    EnumerationResult SymRes = enumerateHistories(P, Sym);
+    if (SymRes.Stats.DedupFpMismatches != 0)
+      Out.push_back(MakeDisagreement(
+          Disagreement::Kind::CarriedFingerprintMismatch,
+          "dedup=symmetry under mix(" + Resolved.str() + "): " +
+              std::to_string(SymRes.Stats.DedupFpMismatches) +
+              " carried fingerprints differ from the from-scratch "
+              "fingerprint"));
+    auto SymKeys = keyMultiset(SymRes.Histories);
     for (const auto &[Key, N] : SymKeys) {
       auto It = RefKeys.find(Key);
       if (It == RefKeys.end() || It->second < N) {
@@ -522,6 +590,10 @@ void DifferentialOracle::checkMixedSemantics(
       if (Out.size() >= 8)
         break;
       if (std::optional<Disagreement> D = diffIncremental(H, Resolved)) {
+        D->MixLevels = SessionLevels;
+        Out.push_back(std::move(*D));
+      }
+      if (std::optional<Disagreement> D = diffSwapRebuild(H, Resolved)) {
         D->MixLevels = SessionLevels;
         Out.push_back(std::move(*D));
       }
@@ -698,9 +770,15 @@ std::vector<Disagreement> DifferentialOracle::checkProgram(
       // Exact mode has nothing to skip on a strongly-optimal run (no two
       // WorkItems of one exploration are identical), so its output
       // multiset must match the reference verbatim.
+      // Both dedup legs run with DedupVerifyCarried: every probe's O(Δ)
+      // carried fingerprint is re-derived from scratch and disagreements
+      // are counted — so this optimized fuzzing leg has the same teeth as
+      // the debug-build assert at the engine's probe site.
       ExplorerConfig Exact = Recursive;
       Exact.Dedup = DedupMode::Exact;
-      auto ExactKeys = keyMultiset(enumerateHistories(P, Exact).Histories);
+      Exact.DedupVerifyCarried = true;
+      EnumerationResult ExactRes = enumerateHistories(P, Exact);
+      auto ExactKeys = keyMultiset(ExactRes.Histories);
       if (ExactKeys != RefKeys) {
         Disagreement D;
         D.K = Disagreement::Kind::DedupVerdictMismatch;
@@ -708,6 +786,17 @@ std::vector<Disagreement> DifferentialOracle::checkProgram(
         D.Detail = "dedup=exact vs dedup=off under " +
                    std::string(isolationLevelName(Base)) + ": " +
                    diffSummary(ExactKeys, RefKeys, "exact", "off");
+        Out.push_back(std::move(D));
+      }
+      if (ExactRes.Stats.DedupFpMismatches != 0) {
+        Disagreement D;
+        D.K = Disagreement::Kind::CarriedFingerprintMismatch;
+        D.Level = Base;
+        D.Detail = "dedup=exact under " +
+                   std::string(isolationLevelName(Base)) + ": " +
+                   std::to_string(ExactRes.Stats.DedupFpMismatches) +
+                   " carried fingerprints differ from the from-scratch "
+                   "fingerprint";
         Out.push_back(std::move(D));
       }
 
@@ -718,8 +807,20 @@ std::vector<Disagreement> DifferentialOracle::checkProgram(
       // incremental leg): this leg guards dedup itself, not the axioms.
       ExplorerConfig Sym = Recursive;
       Sym.Dedup = DedupMode::Symmetry;
-      std::vector<History> SymHistories =
-          enumerateHistories(P, Sym).Histories;
+      Sym.DedupVerifyCarried = true;
+      EnumerationResult SymRes = enumerateHistories(P, Sym);
+      std::vector<History> SymHistories = std::move(SymRes.Histories);
+      if (SymRes.Stats.DedupFpMismatches != 0) {
+        Disagreement D;
+        D.K = Disagreement::Kind::CarriedFingerprintMismatch;
+        D.Level = Base;
+        D.Detail = "dedup=symmetry under " +
+                   std::string(isolationLevelName(Base)) + ": " +
+                   std::to_string(SymRes.Stats.DedupFpMismatches) +
+                   " carried fingerprints differ from the from-scratch "
+                   "fingerprint";
+        Out.push_back(std::move(D));
+      }
       auto SymKeys = keyMultiset(SymHistories);
       bool Included = true;
       for (const auto &[Key, N] : SymKeys) {

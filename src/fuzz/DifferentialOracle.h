@@ -103,6 +103,16 @@ struct Disagreement {
     /// violation-existence verdicts — the leg that guards the subtree
     /// memoization of core/Dedup.h.
     DedupVerdictMismatch,
+    /// An O(Δ) swap-child rebuild (copy the cached prefix state, replay
+    /// only the changed blocks) is not equivalentTo the bulk-constructed
+    /// ConstraintState of the same swapped history — the leg that guards
+    /// the engine's incremental fan-out rebuild.
+    IncrementalSwapStateMismatch,
+    /// A dedup-enabled exploration run under DedupVerifyCarried observed
+    /// carried-fingerprint/from-scratch disagreements
+    /// (ExplorerStats::DedupFpMismatches != 0) — the leg that guards the
+    /// O(Δ) fingerprint maintenance of core/Dedup.h in optimized builds.
+    CarriedFingerprintMismatch,
   };
 
   Kind K = Kind::CheckerVerdictMismatch;

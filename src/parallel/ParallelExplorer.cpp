@@ -76,6 +76,7 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
     drainDepthFirst(Engine, Engine.initialItem(), MainSink);
     MainSink.Stats.ElapsedMillis = Timer.elapsedMillis();
     MainSink.Stats.PeakRssKb = peakRssKb();
+    MainSink.Stats.DedupEvictions = Engine.dedupEvictions();
     return MainSink.Stats;
   }
 
@@ -203,5 +204,6 @@ ExplorerStats ParallelExplorer::run(const HistoryVisitor &VisitFn) {
     Total.merge(S);
   Total.ElapsedMillis = Timer.elapsedMillis();
   Total.PeakRssKb = peakRssKb();
+  Total.DedupEvictions = Engine.dedupEvictions();
   return Total;
 }

@@ -34,6 +34,8 @@ const char *txdpor::trace::counterName(Counter C) {
     return "reads_latest_checks";
   case Counter::BulkRebuilds:
     return "bulk_rebuilds";
+  case Counter::PrefixReplays:
+    return "prefix_replays";
   case Counter::SwapChildrenBuilt:
     return "swap_children_built";
   case Counter::StealSuccesses:

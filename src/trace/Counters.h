@@ -37,6 +37,7 @@ enum class Counter : uint8_t {
   ValidWritesProbes,  ///< §5.1 commit-test readAdmits probes.
   ReadsLatestChecks,  ///< readLatest_I evaluations (§5.3).
   BulkRebuilds,       ///< ConstraintState bulk constructions.
+  PrefixReplays,      ///< Incremental prefix-state continuations.
   SwapChildrenBuilt,  ///< Swap children passing Optimality.
   StealSuccesses,     ///< Parallel worker steals that got an item.
   StealFailures,      ///< Full failed scans over all victim queues.
@@ -46,7 +47,7 @@ enum class Counter : uint8_t {
   StreamEvictions,    ///< Window transactions garbage-collected.
   StreamPeakWindow,   ///< High-water window size (maintained via bumpMax).
 };
-constexpr unsigned NumCounters = 11;
+constexpr unsigned NumCounters = 12;
 
 /// Snake_case display name of \p C (the JSON key in dumps).
 const char *counterName(Counter C);

@@ -155,6 +155,8 @@ const char *txdpor::trace::name(Name N) {
     return "reads_latest";
   case Name::BulkRebuild:
     return "bulk_rebuild";
+  case Name::PrefixReplay:
+    return "prefix_replay";
   case Name::ReplayCursors:
     return "replay_cursors";
   case Name::SplitPhase:

@@ -84,6 +84,8 @@ enum class Name : uint16_t {
   SwapChild,     ///< One swap child: applySwap + state + optimality.
   ReadsLatest,   ///< One readLatest_I evaluation (§5.3).
   BulkRebuild,   ///< ConstraintState bulk constructor (arg0 = #txns).
+  PrefixReplay,  ///< Incremental continuation of a cached prefix state
+                 ///< (arg0 = first replayed block, arg1 = #blocks).
   ReplayCursors, ///< replayCursorsFrom (arg0 = first dirty block).
   SplitPhase,    ///< Parallel BFS split (arg0 = frontier items).
   Worker,        ///< One worker thread's whole run (arg0 = worker id).

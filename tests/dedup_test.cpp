@@ -314,6 +314,141 @@ TEST(DedupEquivalenceTest, VerdictGridMatchesReference) {
   }
 }
 
+// The carried O(Δ) fingerprint must equal the from-scratch fingerprint at
+// every probe the engine performs — across extension, read-branch,
+// commit and swap children (swap children re-derive from the history),
+// for both modes, uniform and mixed bases. DedupVerifyCarried recomputes
+// every probe from scratch and counts disagreements, so a single drift
+// anywhere in the maintenance fails the run.
+TEST(DedupCarriedFingerprintTest, CarriedEqualsScratchAtEveryProbe) {
+  for (AppKind App : {AppKind::IdenticalSessions, AppKind::Courseware}) {
+    for (uint64_t Seed = 1; Seed != 3; ++Seed) {
+      ClientSpec Spec;
+      Spec.Sessions = 3;
+      Spec.TxnsPerSession = 2;
+      Spec.Seed = Seed;
+      Program P = makeClientProgram(App, Spec);
+      for (DedupMode Mode : {DedupMode::Exact, DedupMode::Symmetry}) {
+        ExplorerConfig Cfg =
+            ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+        Cfg.Dedup = Mode;
+        Cfg.DedupVerifyCarried = true;
+        EnumerationResult Run = enumerateHistories(P, Cfg);
+        EXPECT_GT(Run.Stats.DedupChecks, 0u);
+        EXPECT_EQ(Run.Stats.DedupFpMismatches, 0u)
+            << appName(App) << " seed " << Seed << ": carried fingerprint "
+            << "drifted from the from-scratch fingerprint";
+      }
+      // A mixed base partitions sessions into different structural
+      // classes; the carried symmetry canonicalization must track that.
+      LevelAssignment Mix(IsolationLevel::CausalConsistency);
+      Mix.set(1, IsolationLevel::ReadCommitted);
+      ExplorerConfig MixCfg = ExplorerConfig::exploreCEMixed(Mix);
+      MixCfg.Dedup = DedupMode::Symmetry;
+      MixCfg.DedupVerifyCarried = true;
+      EnumerationResult Run = enumerateHistories(P, MixCfg);
+      EXPECT_GT(Run.Stats.DedupChecks, 0u);
+      EXPECT_EQ(Run.Stats.DedupFpMismatches, 0u)
+          << appName(App) << " seed " << Seed
+          << ": carried fingerprint drifted under a mixed base";
+    }
+  }
+}
+
+// Eviction soundness: a bounded table only ever *forgets* fingerprints,
+// so an evicted subtree is re-explored — never wrongly skipped. Every
+// output of a bounded run must come from the reference set with
+// unchanged violation verdicts, and a tiny cap must actually evict.
+TEST(DedupEvictionTest, BoundedTableOnlyReExplores) {
+  Program P = identicalProgram(3, 2, /*Seed=*/1);
+  ExplorerConfig Off =
+      ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+  EnumerationResult Ref = enumerateHistories(P, Off);
+  auto RefKeys = countByCanonicalKey(Ref.Histories);
+
+  ExplorerConfig Sym = Off;
+  Sym.Dedup = DedupMode::Symmetry;
+  EnumerationResult Unbounded = enumerateHistories(P, Sym);
+
+  for (uint64_t Cap : {8u, 64u, 4096u}) {
+    ExplorerConfig Bounded = Sym;
+    Bounded.DedupMaxEntries = Cap;
+    Bounded.DedupVerifyCarried = true;
+    EnumerationResult Run = enumerateHistories(P, Bounded);
+    EXPECT_EQ(Run.Stats.DedupFpMismatches, 0u);
+    // Forgetting can only grow the output back toward the reference.
+    EXPECT_GE(Run.Histories.size(), Unbounded.Histories.size())
+        << "cap " << Cap;
+    EXPECT_LE(Run.Histories.size(), Ref.Histories.size()) << "cap " << Cap;
+    for (const auto &[Key, N] : countByCanonicalKey(Run.Histories)) {
+      auto It = RefKeys.find(Key);
+      ASSERT_TRUE(It != RefKeys.end() && It->second >= N)
+          << "cap " << Cap
+          << ": bounded run emitted a history outside the reference set";
+    }
+    for (IsolationLevel L : {IsolationLevel::CausalConsistency,
+                             IsolationLevel::Serializability})
+      EXPECT_EQ(hasViolation(Run.Histories, L),
+                hasViolation(Ref.Histories, L))
+          << "cap " << Cap << ": verdict at " << isolationLevelName(L)
+          << " diverged";
+    if (Cap == 8) {
+      EXPECT_GT(Run.Stats.DedupEvictions, 0u)
+          << "a cap of 8 must evict on this workload";
+    }
+    // An ample cap behaves exactly like the unbounded table.
+    if (Cap == 4096) {
+      EXPECT_EQ(Run.Stats.DedupEvictions, 0u);
+      EXPECT_EQ(countByCanonicalKey(Run.Histories),
+                countByCanonicalKey(Unbounded.Histories));
+    }
+  }
+}
+
+// Concurrent eviction: workers race insertIfNew probes against CLOCK
+// sweeps on the shared sharded table. Soundness must survive any
+// interleaving (this fixture runs under TSan in CI), and exact mode —
+// which never has anything to skip on an optimal run — must stay
+// lossless even while evicting.
+TEST(DedupEvictionTest, ConcurrentBoundedTableStaysSound) {
+  Program P = identicalProgram(3, 2, /*Seed=*/1);
+  ExplorerConfig Off =
+      ExplorerConfig::exploreCE(IsolationLevel::CausalConsistency);
+  EnumerationResult Ref = enumerateHistories(P, Off);
+  auto RefKeys = countByCanonicalKey(Ref.Histories);
+
+  for (unsigned Threads : {2u, 4u}) {
+    for (DedupMode Mode : {DedupMode::Exact, DedupMode::Symmetry}) {
+      ExplorerConfig Par = Off;
+      Par.Threads = Threads;
+      Par.Dedup = Mode;
+      Par.DedupMaxEntries = 32;
+      std::vector<History> Out;
+      ParallelExplorer E(P, Par);
+      ExplorerStats Stats =
+          E.run([&](const History &H) { Out.push_back(H); });
+      auto Keys = countByCanonicalKey(Out);
+      if (Mode == DedupMode::Exact) {
+        EXPECT_EQ(Keys, RefKeys)
+            << Threads << " threads: exact turned lossy under eviction";
+      } else {
+        for (const auto &[Key, N] : Keys) {
+          auto It = RefKeys.find(Key);
+          ASSERT_TRUE(It != RefKeys.end() && It->second >= N)
+              << Threads
+              << " threads: bounded symmetry output outside the reference";
+        }
+        EXPECT_EQ(hasViolation(Out, IsolationLevel::Serializability),
+                  hasViolation(Ref.Histories,
+                               IsolationLevel::Serializability))
+            << Threads << " threads";
+      }
+      EXPECT_GT(Stats.DedupEvictions, 0u)
+          << Threads << " threads: a cap of 32 must evict here";
+    }
+  }
+}
+
 // Thread-count invariance of the shared sharded table: every parallel
 // output is in the reference set, the verdicts agree, and the exact mode
 // stays lossless (parallel work order may change *which* isomorphic

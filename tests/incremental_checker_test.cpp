@@ -154,7 +154,89 @@ void runRandomEquivalence(uint64_t Seed, const LevelAssignment &Levels) {
   H.checkWellFormed();
 }
 
+/// Builds one random, fully-committed engine-shaped history: every
+/// external read's writer is chosen among the candidates the carried
+/// state admits, so the result is consistent under \p Levels by
+/// construction (the explorer's own extension discipline).
+History randomCommittedHistory(uint64_t Seed, const LevelAssignment &Levels,
+                               unsigned NumTxns) {
+  Rng R(Seed);
+  const unsigned NumVars = 2, NumSessions = 3;
+  History H = History::makeInitial(NumVars);
+  ConstraintState St(H, Levels, NumTxns + 1);
+  std::vector<uint32_t> NextIndex(NumSessions, 0);
+  Value NextVal = 1;
+  for (unsigned T = 0; T != NumTxns; ++T) {
+    uint32_t S = static_cast<uint32_t>(R.nextBelow(NumSessions));
+    TxnUid Uid{S, NextIndex[S]++};
+    unsigned Idx = H.beginTxn(Uid);
+    St.applyBegin(Uid);
+    for (unsigned Op = 0, E = 1 + static_cast<unsigned>(R.nextBelow(3));
+         Op != E; ++Op) {
+      VarId V = static_cast<VarId>(R.nextBelow(NumVars));
+      if (R.chance(1, 2)) {
+        H.appendEvent(Idx, Event::makeWrite(V, NextVal++));
+        continue;
+      }
+      H.appendEvent(Idx, Event::makeRead(V));
+      uint32_t Pos = static_cast<uint32_t>(H.txn(Idx).size()) - 1;
+      if (!H.txn(Idx).isExternalRead(Pos))
+        continue;
+      std::vector<unsigned> Admitted;
+      for (unsigned W : H.committedWriters(V))
+        if (St.readAdmits(W, V))
+          Admitted.push_back(W);
+      unsigned W = Admitted[R.nextBelow(Admitted.size())];
+      H.setWriter(Idx, Pos, H.txn(W).uid());
+      St.applyExternalRead(W, V);
+    }
+    H.appendEvent(Idx, Event::makeCommit());
+    St.applyCommit(H.txn(Idx));
+  }
+  return H;
+}
+
+/// The engine's O(Δ) swap-child rebuild over one random history: every
+/// reordering candidate's state, rebuilt by copying the cached prefix
+/// state below the reader and replaying only the changed blocks, must be
+/// equivalentTo the bulk-constructed state of the same swapped history.
+/// Random reader positions across seeds sweep every FirstChangedBlock
+/// position the fan-out can produce.
+void runPrefixCacheSwapGrid(uint64_t Seed, const LevelAssignment &Levels) {
+  SCOPED_TRACE("seed " + std::to_string(Seed) + " levels " + Levels.str());
+  const unsigned NumTxns = 6;
+  History H = randomCommittedHistory(Seed, Levels, NumTxns);
+
+  // Checkpoints accessed in descending order exercise the non-monotone
+  // lookup path (a fresh checkpoint below an existing one).
+  PrefixStateCache Cache(H, Levels, NumTxns + 1);
+  for (unsigned L = H.numTxns(); L >= 1; --L) {
+    ConstraintState Prefix = Cache.stateFor(L);
+    ConstraintState Ref(H, Levels, /*MaxTxns=*/0, /*PrefixLen=*/L);
+    EXPECT_TRUE(Prefix.equivalentTo(Ref))
+        << "cached prefix state diverges at length " << L;
+  }
+
+  PrefixStateCache SwapCache(H, Levels, NumTxns + 1);
+  for (const Reordering &Rd : computeReorderings(H)) {
+    History Swapped = applySwap(H, Rd);
+    ConstraintState Bulk(Swapped, Levels);
+    ConstraintState Incr = SwapCache.stateFor(Rd.ReaderTxn);
+    Incr.replayBlocks(Swapped, Rd.ReaderTxn, Swapped.numTxns());
+    EXPECT_TRUE(Incr.equivalentTo(Bulk) && Bulk.equivalentTo(Incr))
+        << "incremental swap-child rebuild diverges for reader "
+        << Rd.ReaderTxn << " pos " << Rd.ReadPos;
+    EXPECT_EQ(Incr.consistent(), Bulk.consistent());
+  }
+}
+
 } // namespace
+
+TEST(IncrementalEquivalence, PrefixCacheSwapGridMatchesBulk) {
+  for (const LevelAssignment &Levels : sweepAssignments())
+    for (uint64_t Seed = 1; Seed <= 20; ++Seed)
+      runPrefixCacheSwapGrid(Seed, Levels);
+}
 
 TEST(IncrementalEquivalence, RandomExtensionsMatchScratch) {
   for (const LevelAssignment &Levels : sweepAssignments())

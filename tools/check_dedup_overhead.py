@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regression gate on the dedup fingerprint overhead in BENCH_dedup.json.
+
+The honest cost of `--dedup` on workloads where it never skips anything
+(courseware, tpcc: every session is its own structural class) is pure
+fingerprint overhead: the exact/off wall-clock ratio of a cell measures
+how expensive `itemFingerprint` is per expansion. PR 8 computed every
+fingerprint from scratch (full canonicalization per probe), which put
+that ratio well above 2x on the larger grids; the carried O(delta)
+fingerprint must keep it strictly below the PR-8 baseline. Cells are
+noisy at sub-millisecond scale, so only cells whose dedup-off wall time
+clears --min-off-ms qualify, and the gate is on the *median* qualifying
+ratio (a single descheduled run cannot fail CI; a real regression moves
+every cell).
+
+Exit status: 0 = gate passed, 1 = bad input, 2 = gate failed.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def qualifying_ratios(doc, mode, min_off_ms):
+    """Yields (cell_name, ratio) for every grid point with an off cell and
+    a `mode` cell, neither timed out and the off cell above the noise
+    floor."""
+    by_point = {}
+    for cell in doc.get("cells", []):
+        point = (cell["workload"], cell["sessions"], cell["txns_per_session"])
+        by_point.setdefault(point, {})[cell["mode"]] = cell
+    for point in sorted(by_point):
+        cells = by_point[point]
+        off, probed = cells.get("off"), cells.get(mode)
+        if off is None or probed is None:
+            continue
+        if off.get("timed_out") or probed.get("timed_out"):
+            continue
+        if off["ms"] < min_off_ms:
+            continue
+        name = "%s %dx%d" % point
+        yield name, probed["ms"] / off["ms"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="BENCH_dedup.json to gate")
+    parser.add_argument(
+        "--mode",
+        default="exact",
+        choices=["exact", "symmetry"],
+        help="dedup mode whose overhead vs off is gated (default exact: "
+        "zero skips on the asymmetric workloads, so the ratio is pure "
+        "fingerprint cost)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when the median mode/off wall-clock ratio over "
+        "qualifying cells exceeds this (default 2.0, the PR-8 "
+        "from-scratch-fingerprint baseline)",
+    )
+    parser.add_argument(
+        "--min-off-ms",
+        type=float,
+        default=20.0,
+        help="ignore cells whose dedup-off wall time is below this noise "
+        "floor in ms (default 20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("error: cannot read %s: %s" % (args.bench_json, e),
+              file=sys.stderr)
+        return 1
+    if doc.get("bench") != "dedup":
+        print("error: %s is not a BENCH_dedup.json dump" % args.bench_json,
+              file=sys.stderr)
+        return 1
+
+    ratios = list(qualifying_ratios(doc, args.mode, args.min_off_ms))
+    if not ratios:
+        # A very tight bench budget can leave every big cell timed out;
+        # report rather than vacuously pass.
+        print("warning: no qualifying cells (raise TXDPOR_BENCH_BUDGET_MS "
+              "or lower --min-off-ms); gate skipped")
+        return 0
+
+    for name, ratio in ratios:
+        print("%-20s %s/off ratio %.2f" % (name, args.mode, ratio))
+    median = statistics.median(r for _, r in ratios)
+    verdict = "within" if median <= args.max_ratio else "EXCEEDS"
+    print("median ratio %.2f %s the %.2f gate (%d cells)"
+          % (median, verdict, args.max_ratio, len(ratios)))
+    return 0 if median <= args.max_ratio else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

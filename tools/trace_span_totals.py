@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Sum span durations per (category, name) in a txdpor Chrome trace dump.
+
+Usage: tools/trace_span_totals.py FILE [FILE ...] [--names a,b] [--markdown]
+
+The before/after evidence for hot-path work: given one or more --trace
+dumps, prints per-span-name totals (count, total wall time, mean) so a
+claim like "bulk_rebuild time dropped" is a table diff rather than a
+flamechart eyeball. With two or more files the table gets one column
+group per file plus a delta column against the first (the baseline).
+
+Only complete events (ph == "X") participate; instants and counter
+samples carry no duration. Durations are the self-reported `dur` of each
+span — nested spans are NOT subtracted from their parents, exactly as
+chrome://tracing's "Wall Duration" column reports them.
+
+Exit status: 0 = ok, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_totals(path):
+    """Returns {(cat, name): [count, total_us]} for ph=="X" events."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_span_totals: cannot load {path}: {e}", file=sys.stderr)
+        return None
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        print(f"trace_span_totals: {path}: no traceEvents array",
+              file=sys.stderr)
+        return None
+    totals = defaultdict(lambda: [0, 0.0])
+    for ev in events:
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        key = (ev.get("cat", "?"), ev.get("name", "?"))
+        dur = ev.get("dur", 0)
+        if not isinstance(dur, (int, float)) or dur < 0:
+            continue
+        totals[key][0] += 1
+        totals[key][1] += dur
+    return totals
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+",
+                        help="Chrome trace-event JSON file(s); the first "
+                        "is the baseline for delta columns")
+    parser.add_argument("--names",
+                        help="comma-separated span names to restrict to "
+                        "(default: all)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavored markdown table")
+    args = parser.parse_args()
+
+    wanted = set(args.names.split(",")) if args.names else None
+    per_file = []
+    for path in args.traces:
+        totals = load_totals(path)
+        if totals is None:
+            return 2
+        per_file.append(totals)
+
+    keys = sorted({k for t in per_file for k in t
+                   if wanted is None or k[1] in wanted})
+    if not keys:
+        print("trace_span_totals: no matching spans", file=sys.stderr)
+        return 0
+
+    header = ["category", "span"]
+    for path in args.traces:
+        stem = path.rsplit("/", 1)[-1]
+        header += [f"count({stem})", f"total({stem})"]
+    if len(per_file) > 1:
+        header.append("Δtotal vs first")
+
+    rows = []
+    for key in keys:
+        row = [key[0], key[1]]
+        for totals in per_file:
+            count, us = totals.get(key, [0, 0.0])
+            row += [str(count), fmt_us(us)]
+        if len(per_file) > 1:
+            base = per_file[0].get(key, [0, 0.0])[1]
+            last = per_file[-1].get(key, [0, 0.0])[1]
+            if base > 0:
+                row.append(f"{(last - base) / base * 100:+.1f}%")
+            else:
+                row.append("new" if last > 0 else "-")
+        rows.append(row)
+
+    if args.markdown:
+        print("| " + " | ".join(header) + " |")
+        print("|" + "|".join("---" for _ in header) + "|")
+        for row in rows:
+            print("| " + " | ".join(row) + " |")
+    else:
+        widths = [max(len(header[i]), max(len(r[i]) for r in rows))
+                  for i in range(len(header))]
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

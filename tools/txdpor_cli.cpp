@@ -69,6 +69,8 @@ struct CliOptions {
   bool UseDfs = false;
   std::optional<uint64_t> Walks;
   DedupMode Dedup = DedupMode::Off;
+  /// --dedup-max-entries: memo-table bound (0 = unbounded, the default).
+  uint64_t DedupMaxEntries = 0;
   int64_t BudgetMs = 30000;
   unsigned Threads = 1;
   unsigned SplitFactor = 4;
@@ -195,6 +197,10 @@ void printUsage() {
       "                      off; bare --dedup means symmetry). exact\n"
       "                      skips repeated WorkItems, symmetry also\n"
       "                      collapses session-renaming-isomorphic ones\n"
+      "  --dedup-max-entries N\n"
+      "                      cap the dedup memo table at ~N fingerprints\n"
+      "                      with CLOCK eviction (default 0 = unbounded;\n"
+      "                      eviction re-explores, never wrongly skips)\n"
       "  --budget-ms N       wall-clock budget (default 30000)\n"
       "  --threads N         worker threads for the exploration (default 1\n"
       "                      = sequential; the output history set is\n"
@@ -466,6 +472,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
                   << *R.inlineValue() << "')\n";
         return false;
       }
+    } else if (R.is("--dedup-max-entries")) {
+      if (!R.uint64Value(Options.DedupMaxEntries))
+        return false;
     } else if (R.is("--budget-ms")) {
       if (!R.budgetValue(Options.BudgetMs))
         return false;
@@ -1152,6 +1161,10 @@ int main(int Argc, char **Argv) {
                  "(drop --dfs/--walks)\n";
     return 1;
   }
+  if (Options.DedupMaxEntries != 0 && Options.Dedup == DedupMode::Off) {
+    std::cerr << "error: --dedup-max-entries requires --dedup\n";
+    return 1;
+  }
 
   // Armed before any exploration; its destructor writes the trace on
   // every exit path below (including --walks/--dfs early returns).
@@ -1243,6 +1256,7 @@ int main(int Argc, char **Argv) {
   Config.SplitFactor = Options.SplitFactor;
   Config.SplitDepth = Options.SplitDepth;
   Config.Dedup = Options.Dedup;
+  Config.DedupMaxEntries = Options.DedupMaxEntries;
 
   std::vector<History> Violations;
   uint64_t Outputs = 0;
@@ -1303,11 +1317,16 @@ int main(int Argc, char **Argv) {
               << Stats.StealSuccesses << " steals ("
               << Stats.StealFailures << " failed sweeps), "
               << Stats.IdleParks << " idle parks\n";
-  if (Options.Dedup != DedupMode::Off)
+  if (Options.Dedup != DedupMode::Off) {
     std::cout << "dedup ("
               << (Options.Dedup == DedupMode::Exact ? "exact" : "symmetry")
               << "): " << Stats.DedupSkips << " subtrees skipped of "
-              << Stats.DedupChecks << " checked\n";
+              << Stats.DedupChecks << " checked";
+    if (Options.DedupMaxEntries != 0)
+      std::cout << ", " << Stats.DedupEvictions << " evictions (cap "
+                << Options.DedupMaxEntries << ")";
+    std::cout << "\n";
+  }
 
   if (Options.Classify) {
     std::cout << "classification against "
